@@ -1,0 +1,163 @@
+package prophet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Advice is the outcome of a configuration sweep: every (paradigm,
+// schedule, thread-count) estimate, the best configuration, and the
+// diagnosis the paper's workflow is meant to support — should this
+// program be parallelized at all, and what limits it?
+type Advice struct {
+	// Best is the highest-speedup estimate of the sweep.
+	Best Estimate
+	// Sweep holds every estimate, sorted by descending speedup.
+	Sweep []Estimate
+	// ParallelFraction is the tree's Amdahl fraction.
+	ParallelFraction float64
+	// UpperBound is the Kismet-style critical-path bound at the largest
+	// thread count swept.
+	UpperBound float64
+	// SaturationThreads, when non-zero, is the smallest swept thread
+	// count beyond which the best schedule gains less than 10%
+	// (the "stop buying cores here" point; memory-bound programs
+	// saturate early, Fig. 2).
+	SaturationThreads int
+	// MemoryLimited reports whether the memory model reduced the best
+	// configuration's estimate by more than 10% versus ignoring memory.
+	MemoryLimited bool
+}
+
+// AdviseOptions shapes the sweep.
+type AdviseOptions struct {
+	// Threads are the CPU counts to sweep (default: the profile's
+	// ThreadCounts).
+	Threads []int
+	// Method is the prediction engine. Passing nil AdviseOptions selects
+	// Synthesizer (the paper's "more realistic predictions" choice,
+	// Table III); with explicit options the zero value means
+	// FastForward, as everywhere else.
+	Method Method
+	// Paradigms to sweep (default: OpenMP and Cilk).
+	Paradigms []Paradigm
+	// Scheds to sweep for OpenMP (default: static, static,1,
+	// dynamic,1).
+	Scheds []Sched
+}
+
+func (o *AdviseOptions) withDefaults(p *Profile) AdviseOptions {
+	var out AdviseOptions
+	if o != nil {
+		out = *o
+	}
+	if len(out.Threads) == 0 {
+		out.Threads = p.opts.withDefaults().ThreadCounts
+	}
+	if out.Method == FastForward && o == nil {
+		out.Method = Synthesizer
+	}
+	if len(out.Paradigms) == 0 {
+		out.Paradigms = []Paradigm{OpenMP, Cilk}
+	}
+	if len(out.Scheds) == 0 {
+		out.Scheds = []Sched{Static, Static1, Dynamic1}
+	}
+	return out
+}
+
+// Advise sweeps parallelization configurations with the memory model
+// applied and returns the ranked results plus a diagnosis.
+func (p *Profile) Advise(opts *AdviseOptions) Advice {
+	o := opts.withDefaults(p)
+	var adv Advice
+	for _, paradigm := range o.Paradigms {
+		scheds := o.Scheds
+		if paradigm == Cilk {
+			scheds = []Sched{{}} // work stealing has no OpenMP schedule
+		}
+		for _, sched := range scheds {
+			for _, t := range o.Threads {
+				est := p.Estimate(Request{
+					Method: o.Method, Threads: t,
+					Paradigm: paradigm, Sched: sched,
+					MemoryModel: true,
+				})
+				adv.Sweep = append(adv.Sweep, est)
+				if est.Speedup > adv.Best.Speedup {
+					adv.Best = est
+				}
+			}
+		}
+	}
+	sort.SliceStable(adv.Sweep, func(i, j int) bool {
+		return adv.Sweep[i].Speedup > adv.Sweep[j].Speedup
+	})
+
+	adv.ParallelFraction = parallelFraction(p)
+	maxT := o.Threads[len(o.Threads)-1]
+	adv.UpperBound = p.Estimate(Request{Method: CriticalPathBound, Threads: maxT}).Speedup
+
+	// Saturation: walk the best configuration's own curve.
+	bestReq := adv.Best.Request
+	prev := 0.0
+	for _, t := range o.Threads {
+		r := bestReq
+		r.Threads = t
+		s := p.Estimate(r).Speedup
+		if prev > 0 && s < prev*1.10 {
+			adv.SaturationThreads = t
+			break
+		}
+		prev = s
+	}
+	// Memory limitation: compare the best configuration with and without
+	// burden factors.
+	noMem := bestReq
+	noMem.MemoryModel = false
+	if plain := p.Estimate(noMem).Speedup; plain > 0 {
+		adv.MemoryLimited = adv.Best.Speedup < 0.9*plain
+	}
+	return adv
+}
+
+func parallelFraction(p *Profile) float64 {
+	total := p.Tree.TotalLen()
+	if total == 0 {
+		return 0
+	}
+	serial := p.Tree.SerialOutsideSections()
+	return 1 - float64(serial)/float64(total)
+}
+
+// String renders the advice as a short human-readable report.
+func (a Advice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "best: %.2fx with %s on %d threads", a.Best.Speedup, a.Best.Paradigm, a.Best.Threads)
+	if a.Best.Paradigm == OpenMP {
+		fmt.Fprintf(&b, " %v", a.Best.Sched)
+	}
+	fmt.Fprintf(&b, "\nparallel fraction: %.0f%%; critical-path upper bound: %.2fx\n",
+		100*a.ParallelFraction, a.UpperBound)
+	if a.MemoryLimited {
+		b.WriteString("memory-limited: bandwidth contention reduces the estimate by >10%\n")
+	}
+	if a.SaturationThreads > 0 {
+		fmt.Fprintf(&b, "diminishing returns beyond %d threads (<10%% gain per step)\n", a.SaturationThreads)
+	}
+	n := len(a.Sweep)
+	if n > 5 {
+		n = 5
+	}
+	b.WriteString("top configurations:\n")
+	for i := 0; i < n; i++ {
+		e := a.Sweep[i]
+		sched := e.Sched.String()
+		if e.Paradigm == Cilk {
+			sched = "(steal)"
+		}
+		fmt.Fprintf(&b, "  %.2fx  %-6s %-11s %2d threads\n", e.Speedup, e.Paradigm, sched, e.Threads)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package prophet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdviseBalancedLoop(t *testing.T) {
+	p, err := ProfileProgram(balancedProgram(48, 100_000), &Options{Machine: testMachine(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := p.Advise(&AdviseOptions{Method: FastForward})
+	if adv.Best.Speedup < 10 {
+		t.Fatalf("best speedup = %.2f, want ~12 on a balanced loop", adv.Best.Speedup)
+	}
+	if adv.Best.Threads != 12 {
+		t.Fatalf("best threads = %d, want 12", adv.Best.Threads)
+	}
+	if adv.MemoryLimited {
+		t.Error("compute-only loop flagged memory-limited")
+	}
+	if adv.ParallelFraction < 0.999 {
+		t.Errorf("parallel fraction = %g, want ~1", adv.ParallelFraction)
+	}
+	if adv.UpperBound < adv.Best.Speedup-0.2 {
+		t.Errorf("upper bound %.2f below best %.2f", adv.UpperBound, adv.Best.Speedup)
+	}
+	// Sweep is sorted descending.
+	for i := 1; i < len(adv.Sweep); i++ {
+		if adv.Sweep[i].Speedup > adv.Sweep[i-1].Speedup {
+			t.Fatal("sweep not sorted")
+		}
+	}
+}
+
+func TestAdviseMemoryBound(t *testing.T) {
+	streaming := func(ctx Context) {
+		ctx.SecBegin("stream")
+		for i := 0; i < 96; i++ {
+			ctx.TaskBegin("it")
+			ctx.Compute(10_000, 3_000)
+			ctx.TaskEnd()
+		}
+		ctx.SecEnd(false)
+	}
+	p, err := ProfileProgram(streaming, &Options{Machine: testMachine(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := p.Advise(&AdviseOptions{Method: FastForward})
+	if !adv.MemoryLimited {
+		t.Fatal("streaming workload not flagged memory-limited")
+	}
+	if adv.SaturationThreads == 0 || adv.SaturationThreads > 12 {
+		t.Fatalf("saturation threads = %d, want within the sweep", adv.SaturationThreads)
+	}
+	s := adv.String()
+	for _, want := range []string{"best:", "memory-limited", "top configurations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("advice report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAdviseSerialProgram(t *testing.T) {
+	// Mostly serial: the advisor must not promise much.
+	prog := func(ctx Context) {
+		ctx.Compute(900_000, 0)
+		ctx.SecBegin("tiny")
+		ctx.TaskBegin("t")
+		ctx.Compute(50_000, 0)
+		ctx.TaskEnd()
+		ctx.TaskBegin("t")
+		ctx.Compute(50_000, 0)
+		ctx.TaskEnd()
+		ctx.SecEnd(false)
+	}
+	p, err := ProfileProgram(prog, &Options{Machine: testMachine(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := p.Advise(&AdviseOptions{Method: FastForward, Threads: []int{2, 4, 8}})
+	if adv.Best.Speedup > 1.15 {
+		t.Fatalf("serial program promised %.2fx", adv.Best.Speedup)
+	}
+	if adv.ParallelFraction > 0.15 {
+		t.Fatalf("parallel fraction = %g", adv.ParallelFraction)
+	}
+	if adv.SaturationThreads == 0 {
+		t.Error("no saturation point on an Amdahl-bound program")
+	}
+}
+
+func TestAdviseCilkWinsOnRecursion(t *testing.T) {
+	// Deep recursion: the Cilk paradigm should beat nested OpenMP teams.
+	var rec func(ctx Context, depth int)
+	rec = func(ctx Context, depth int) {
+		if depth == 0 {
+			ctx.Compute(40_000, 0)
+			return
+		}
+		ctx.SecBegin("split")
+		ctx.TaskBegin("l")
+		rec(ctx, depth-1)
+		ctx.TaskEnd()
+		ctx.TaskBegin("r")
+		rec(ctx, depth-1)
+		ctx.TaskEnd()
+		ctx.SecEnd(false)
+	}
+	prog := func(ctx Context) {
+		ctx.SecBegin("root")
+		ctx.TaskBegin("t")
+		rec(ctx, 5)
+		ctx.TaskEnd()
+		ctx.SecEnd(false)
+	}
+	p, err := ProfileProgram(prog, &Options{Machine: testMachine(8), CompressTolerance: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := p.Advise(&AdviseOptions{Threads: []int{4, 8}, Method: Synthesizer})
+	if adv.Best.Paradigm != Cilk {
+		t.Fatalf("best paradigm = %v, want Cilk for recursion (%.2fx)\n%s",
+			adv.Best.Paradigm, adv.Best.Speedup, adv)
+	}
+}

@@ -1,0 +1,166 @@
+// Command ppexp regenerates the paper's tables and figures against the
+// simulated machine.
+//
+// Usage:
+//
+//	ppexp                      # everything (Fig. 11 at -samples, Fig. 12 full)
+//	ppexp -fig 5               # one figure: 4, 5, 7, 11, 12 (12 includes Fig. 2)
+//	ppexp -table 1             # one table: 1, 3, overhead, ranking
+//	ppexp -calibration         # Eq. (6)/(7) fits
+//	ppexp -samples 300         # Fig. 11 sample count (paper: 300)
+//	ppexp -bench NPB-FT,NPB-EP # restrict Fig. 12 to some benchmarks
+//	ppexp -csv dir             # also write CSV series/scatters into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prophet/internal/experiments"
+	"prophet/internal/report"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "regenerate one figure: 4|5|7|11|12")
+		table    = flag.String("table", "", "regenerate one table: 1|3|overhead")
+		calib    = flag.Bool("calibration", false, "run the Eq. (6)/(7) calibration")
+		samples  = flag.Int("samples", 60, "Fig. 11 random samples per case (paper: 300)")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset for Fig. 12")
+		csvDir   = flag.String("csv", "", "directory for CSV output")
+		markdown = flag.Bool("md", false, "render tables as GitHub markdown instead of aligned text")
+		coresArg = flag.String("cores", "", "comma-separated core counts (default 2,4,6,8,10,12)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Samples: *samples}
+	if *coresArg != "" {
+		for _, p := range strings.Split(*coresArg, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "bad core count %q\n", p)
+				os.Exit(2)
+			}
+			cfg.Cores = append(cfg.Cores, v)
+		}
+	}
+	var names []string
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			names = append(names, strings.TrimSpace(b))
+		}
+	}
+
+	markdownOut = *markdown
+	all := *fig == "" && *table == "" && !*calib
+	out := os.Stdout
+
+	if all || *fig == "4" {
+		fmt.Fprintln(out, "## Fig. 4 — program tree of the running example")
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, experiments.Fig4())
+	}
+	if all || *fig == "5" {
+		mustWrite(experiments.Fig5(), out)
+	}
+	if all || *fig == "7" {
+		mustWrite(experiments.Fig7(cfg), out)
+	}
+	if all || *fig == "11" {
+		res := experiments.Fig11(cfg)
+		mustWrite(res.Summary, out)
+		if *csvDir != "" {
+			for _, c := range res.Cases {
+				writeCSV(*csvDir, "fig11-"+slug(c.Name)+".csv", c.Scatter.WriteCSV)
+			}
+		}
+	}
+	if all || *fig == "12" || *fig == "2" {
+		series := experiments.Fig12(cfg, names)
+		fmt.Fprintln(out, "## Fig. 12 — benchmark predictions (the NPB-FT panel is Fig. 2)")
+		fmt.Fprintln(out)
+		for _, s := range series {
+			mustWrite(s.Table(), out)
+			if *csvDir != "" {
+				writeCSV(*csvDir, "fig12-"+slug(s.Name)+".csv", s.WriteCSV)
+			}
+		}
+	}
+	if all || *table == "1" {
+		mustWrite(experiments.Table1(), out)
+	}
+	if all || *table == "3" {
+		mustWrite(experiments.Table3(cfg, names), out)
+	}
+	if all || *table == "overhead" {
+		mustWrite(experiments.OverheadTable(cfg, names), out)
+	}
+	if all || *table == "ranking" {
+		mustWrite(experiments.ScheduleRanking(cfg), out)
+	}
+	if all || *calib {
+		text, series := experiments.Calibration(cfg)
+		fmt.Fprintln(out, "## Eq. (6)/(7) — memory model calibration")
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, text)
+		for _, s := range series {
+			mustWrite(s.Table(), out)
+			if *csvDir != "" {
+				writeCSV(*csvDir, "calibration-"+slug(s.Name)+".csv", s.WriteCSV)
+			}
+		}
+	}
+}
+
+var markdownOut bool
+
+func mustWrite(t *report.Table, out *os.File) {
+	var err error
+	if markdownOut {
+		err = t.WriteMarkdown(out)
+	} else {
+		_, err = t.WriteTo(out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+func writeCSV(dir, name string, write func(w io.Writer) error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

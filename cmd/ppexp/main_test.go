@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Test1, 8-core, FF":     "test1--8-core--ff",
+		"NPB-FT — NPB FT (x/y)": "npb-ft---npb-ft--x-y",
+		"already-clean":         "already-clean",
+		"---Trim Me---":         "trim-me",
+		"MiXeD CaSe 123":        "mixed-case-123",
+		"calibration t=12":      "calibration-t-12",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Command prophet profiles one of the built-in annotated benchmarks (or
+// loads a previously exported program tree) and prints its predicted
+// speedups — the end-to-end tool workflow of the paper's Fig. 3.
+//
+// Usage:
+//
+//	prophet -bench NPB-FT [-method synthesizer] [-cores 2,4,6,8,10,12]
+//	        [-sched dynamic1] [-mem] [-real] [-tree out.json] [-dot out.dot]
+//	prophet -load tree.json [-method ff] ...
+//
+// Use -list to see the available benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prophet"
+	"prophet/internal/realrun"
+	"prophet/internal/report"
+	"prophet/internal/sim"
+	"prophet/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to analyze (see -list)")
+		loadPath  = flag.String("load", "", "load a program tree exported with -tree instead of profiling a benchmark")
+		list      = flag.Bool("list", false, "list available benchmarks")
+		method    = flag.String("method", "ff", "prediction method: ff | synthesizer | suitability | amdahl | critical-path")
+		coresFlag = flag.String("cores", "2,4,6,8,10,12", "comma-separated CPU counts")
+		schedName = flag.String("sched", "", "OpenMP schedule: static | static1 | dynamic1 | guided (default: the benchmark's)")
+		useMem    = flag.Bool("mem", true, "apply the memory performance model (PredM)")
+		withReal  = flag.Bool("real", false, "also run the machine ground truth (slow)")
+		treeOut   = flag.String("tree", "", "write the program tree as JSON to this file")
+		dotOut    = flag.String("dot", "", "write the program tree as Graphviz DOT to this file")
+		regions   = flag.Bool("regions", false, "print the per-region work/span/self-parallelism profile")
+		timeline  = flag.Bool("timeline", false, "render a per-core timeline of the machine ground truth at the largest core count")
+		advise    = flag.Bool("advise", false, "sweep paradigms/schedules/cores and print a recommendation")
+	)
+	flag.Parse()
+
+	if *list || (*benchName == "" && *loadPath == "") {
+		fmt.Println("available benchmarks:")
+		for _, n := range workloads.Names() {
+			w, _ := workloads.ByName(n)
+			fmt.Printf("  %-11s %s\n", n, w.Desc)
+		}
+		if *benchName == "" && *loadPath == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cores, err := parseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var (
+		prof     *prophet.Profile
+		name     string
+		paradigm prophet.Paradigm
+		sched    prophet.Sched
+	)
+	if *loadPath != "" {
+		data, err := os.ReadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var root prophet.Tree
+		if err := json.Unmarshal(data, &root); err != nil {
+			fmt.Fprintln(os.Stderr, "tree parse:", err)
+			os.Exit(2)
+		}
+		prof, err = prophet.ProfileTree(&root, &prophet.Options{ThreadCounts: cores})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		name = *loadPath
+		sched = prophet.Static
+	} else {
+		w, err := workloads.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("profiling %s (%s)...\n", w.Name, w.Desc)
+		prof, err = prophet.ProfileProgram(w.Program, &prophet.Options{ThreadCounts: cores})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile failed:", err)
+			os.Exit(1)
+		}
+		name = w.Name
+		paradigm = w.Paradigm
+		sched = w.Sched
+		fmt.Printf("serial: %d cycles; tree: %s\n\n", prof.SerialCycles, prof.Compression)
+	}
+	if *schedName != "" {
+		sched, err = parseSched(*schedName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	headers := []string{"cores", "predicted speedup"}
+	if *withReal {
+		headers = append(headers, "real (machine)")
+	}
+	t := report.NewTable(fmt.Sprintf("%s — %s, %s, %v", name, m, paradigm, sched), headers...)
+	for _, c := range cores {
+		req := prophet.Request{Method: m, Threads: c, Paradigm: paradigm, Sched: sched, MemoryModel: *useMem}
+		est := prof.Estimate(req)
+		row := []string{strconv.Itoa(c), fmt.Sprintf("%.2f", est.Speedup)}
+		if *withReal {
+			row = append(row, fmt.Sprintf("%.2f", prof.RealSpeedup(req)))
+		}
+		t.AddRow(row...)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		os.Exit(1)
+	}
+
+	if *advise {
+		fmt.Println(prof.Advise(&prophet.AdviseOptions{Threads: cores, Method: m}))
+	}
+
+	if *timeline {
+		rec := &sim.Recorder{}
+		top := cores[len(cores)-1]
+		realrun.TimeTraced(prof.Tree, realrun.Config{
+			Machine: prophet.DefaultMachine(), Threads: top,
+			Paradigm: paradigm, Sched: sched,
+		}, rec)
+		fmt.Printf("machine execution, %d threads:\n", top)
+		if err := rec.Gantt(os.Stdout, 100); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *regions {
+		rt := report.NewTable("parallel regions (ranked by work)",
+			"region", "nested", "executions", "work", "span", "self-par", "coverage")
+		for _, r := range prof.Regions() {
+			rt.AddRow(r.Name,
+				fmt.Sprintf("%v", r.Nested),
+				strconv.Itoa(r.Executions),
+				strconv.FormatInt(int64(r.Work), 10),
+				strconv.FormatInt(int64(r.Span), 10),
+				fmt.Sprintf("%.1f", r.SelfParallelism),
+				fmt.Sprintf("%.1f%%", 100*r.Coverage))
+		}
+		if _, err := rt.WriteTo(os.Stdout); err != nil {
+			os.Exit(1)
+		}
+	}
+
+	if *treeOut != "" {
+		data, err := json.MarshalIndent(prof.Tree, "", " ")
+		if err == nil {
+			err = os.WriteFile(*treeOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tree export:", err)
+			os.Exit(1)
+		}
+		fmt.Println("tree written to", *treeOut)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err == nil {
+			err = prof.Tree.WriteDOT(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dot export:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dot written to", *dotOut)
+	}
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseMethod(s string) (prophet.Method, error) {
+	switch s {
+	case "ff":
+		return prophet.FastForward, nil
+	case "synthesizer", "syn":
+		return prophet.Synthesizer, nil
+	case "suitability", "suit":
+		return prophet.Suitability, nil
+	case "amdahl":
+		return prophet.AmdahlLaw, nil
+	case "critical-path", "kismet":
+		return prophet.CriticalPathBound, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func parseSched(s string) (prophet.Sched, error) {
+	switch s {
+	case "static":
+		return prophet.Static, nil
+	case "static1":
+		return prophet.Static1, nil
+	case "dynamic1":
+		return prophet.Dynamic1, nil
+	case "guided":
+		return prophet.Guided, nil
+	}
+	return prophet.Sched{}, fmt.Errorf("unknown schedule %q", s)
+}

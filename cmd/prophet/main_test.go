@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"prophet"
+)
+
+func TestParseCores(t *testing.T) {
+	got, err := parseCores("2, 4,12")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 12 {
+		t.Fatalf("parseCores = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "-1", "2,,4"} {
+		if _, err := parseCores(bad); err == nil {
+			t.Errorf("parseCores(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]prophet.Method{
+		"ff":            prophet.FastForward,
+		"synthesizer":   prophet.Synthesizer,
+		"syn":           prophet.Synthesizer,
+		"suitability":   prophet.Suitability,
+		"suit":          prophet.Suitability,
+		"amdahl":        prophet.AmdahlLaw,
+		"critical-path": prophet.CriticalPathBound,
+		"kismet":        prophet.CriticalPathBound,
+	}
+	for s, want := range cases {
+		got, err := parseMethod(s)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	for s, want := range map[string]prophet.Sched{
+		"static":   prophet.Static,
+		"static1":  prophet.Static1,
+		"dynamic1": prophet.Dynamic1,
+		"guided":   prophet.Guided,
+	} {
+		got, err := parseSched(s)
+		if err != nil || got != want {
+			t.Errorf("parseSched(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseSched("static,9"); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// hostprofile profiles REAL computation on the host clock: the annotated
+// program actually factorizes a matrix (no cost model, no simulator on the
+// profiling side — the original tool flow of the paper, with Go's
+// monotonic clock standing in for rdtsc and annotation overhead excluded
+// per §VI-A). Prediction then runs on the simulated 12-core machine.
+//
+//	go run ./examples/hostprofile
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"prophet"
+)
+
+const size = 384
+
+// luProgram annotates a real in-place LU factorization (Fig. 1(a)'s loop
+// nest) of a diagonally dominant matrix. Every Compute you'd expect is
+// real arithmetic; the profiler only times it.
+func luProgram(a [][]float64) prophet.Program {
+	return func(ctx prophet.Context) {
+		n := len(a)
+		for k := 0; k < n-1; k++ {
+			ctx.SecBegin("eliminate")
+			for i := k + 1; i < n; i++ {
+				ctx.TaskBegin("row")
+				l := a[i][k] / a[k][k]
+				a[i][k] = l
+				for j := k + 1; j < n; j++ {
+					a[i][j] -= l * a[k][j]
+				}
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+		}
+	}
+}
+
+func buildMatrix(n int) [][]float64 {
+	a := make([][]float64, n)
+	seed := uint64(42)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11)/float64(1<<53) - 0.5
+	}
+	for i := range a {
+		a[i] = make([]float64, n)
+		var rowSum float64
+		for j := range a[i] {
+			if i != j {
+				a[i][j] = next()
+				rowSum += math.Abs(a[i][j])
+			}
+		}
+		a[i][i] = rowSum + 1
+	}
+	return a
+}
+
+func main() {
+	a := buildMatrix(size)
+
+	// Host-mode profiling: the program below really factorizes `a`,
+	// timed by the monotonic clock at a nominal 2.4 GHz.
+	hp := prophet.NewHostProfile()
+	luProgram(a)(hp.Context())
+	prof, err := hp.Finish(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The factorization is real: spot-check a pivot.
+	if a[size-1][size-1] == 0 {
+		log.Fatal("factorization produced a zero pivot")
+	}
+	fmt.Printf("profiled a real %dx%d LU factorization on the host clock\n", size, size)
+	fmt.Printf("measured serial time: ~%.2f ms (nominal cycles: %d)\n",
+		float64(prof.SerialCycles)/2.4e6, prof.SerialCycles)
+	fmt.Printf("tree: %s\n\n", prof.Compression)
+
+	fmt.Println("predicted speedups for the measured tree (FF, simulated 12-core):")
+	for _, cores := range []int{2, 4, 8, 12} {
+		est := prof.Estimate(prophet.Request{
+			Method: prophet.FastForward, Threads: cores, Sched: prophet.Static1,
+		})
+		fmt.Printf("  %2d cores: %.2fx\n", cores, est.Speedup)
+	}
+	fmt.Println("\nthe verdict is itself the product: at this matrix size the per-row")
+	fmt.Println("work is so small that fork/join overhead eats most of the speedup —")
+	fmt.Println("exactly what a programmer wants to know *before* parallelizing.")
+	fmt.Println("(host timings vary with machine load; the tree shape — the")
+	fmt.Println(" triangular imbalance of Fig. 1(a) — is what drives the prediction)")
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"sort"
+
+	"prophet/internal/clock"
+	"prophet/internal/tree"
+)
+
+// This file implements a Kremlin-style region profile (Garcia et al.,
+// "Kremlin: rethinking and rebooting gprof for the multicore age" — the
+// paper's reference [11] and the analysis Kismet builds on): for every
+// parallel section in the program tree, its work, its span (critical
+// path) and its self-parallelism W/S, ranked by total work. This is the
+// "which region should I parallelize first" view that complements
+// Parallel Prophet's whole-program speedup predictions.
+
+// Region is one parallel section's critical-path profile.
+type Region struct {
+	// Name is the section's annotation name.
+	Name string
+	// Nested reports whether the section is nested inside a task.
+	Nested bool
+	// Executions is the number of dynamic executions (Repeat-aware).
+	Executions int
+	// Work is the section's total computation over all executions.
+	Work clock.Cycles
+	// Span is the critical path of one execution.
+	Span clock.Cycles
+	// SelfParallelism is Work/(Executions·Span) — the parallelism
+	// available inside one execution of the region.
+	SelfParallelism float64
+	// Coverage is Work as a fraction of the whole program.
+	Coverage float64
+}
+
+// Regions profiles every parallel section of the tree, ranked by total
+// work (descending). Sections with the same name are aggregated, as
+// Kremlin aggregates dynamic regions by static site; for self-recursive
+// regions (a section nested inside another instance of itself, e.g. a
+// quicksort's halves) only the outermost instance contributes work, so
+// inclusive work is never double-counted and coverage stays <= 100%.
+func Regions(root *tree.Node) []Region {
+	total := root.TotalLen()
+	agg := map[string]*Region{}
+	order := []string{}
+	active := map[string]bool{}
+	var visit func(n *tree.Node, nested bool, mult int)
+	visit = func(n *tree.Node, nested bool, mult int) {
+		for _, c := range n.Children {
+			switch c.Kind {
+			case tree.Sec:
+				if !active[c.Name] {
+					w, s := CriticalPath(c)
+					// CriticalPath scales both by the node's
+					// Repeat; the span of one execution is what
+					// Kremlin's self-parallelism uses.
+					s /= clock.Cycles(c.Reps())
+					w *= clock.Cycles(mult)
+					r, ok := agg[c.Name]
+					if !ok {
+						r = &Region{Name: c.Name, Nested: nested, Span: s}
+						agg[c.Name] = r
+						order = append(order, c.Name)
+					}
+					r.Executions += c.Reps() * mult
+					r.Work += w
+					if s > r.Span {
+						r.Span = s
+					}
+				}
+				// Recurse into tasks: differently named inner
+				// sections still count; same-name recursive
+				// instances are suppressed via the active set.
+				wasActive := active[c.Name]
+				active[c.Name] = true
+				for _, task := range c.Children {
+					visit(task, true, mult*c.Reps()*task.Reps())
+				}
+				active[c.Name] = wasActive
+			case tree.Task:
+				visit(c, nested, mult*c.Reps())
+			}
+		}
+	}
+	visit(root, false, 1)
+
+	out := make([]Region, 0, len(order))
+	for _, name := range order {
+		r := agg[name]
+		if r.Executions > 0 && r.Span > 0 {
+			r.SelfParallelism = float64(r.Work) / float64(int64(r.Span)*int64(r.Executions))
+		}
+		if total > 0 {
+			r.Coverage = float64(r.Work) / float64(total)
+		}
+		out = append(out, *r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Work > out[j].Work })
+	return out
+}

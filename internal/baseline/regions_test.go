@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/tree"
+)
+
+func TestRegionsSimpleSection(t *testing.T) {
+	root := tree.NewRoot(
+		tree.NewU(100),
+		tree.NewSec("hot",
+			tree.NewTask("a", tree.NewU(300)),
+			tree.NewTask("b", tree.NewU(300)),
+			tree.NewTask("c", tree.NewU(300)),
+		),
+	)
+	regs := Regions(root)
+	if len(regs) != 1 {
+		t.Fatalf("regions = %d, want 1", len(regs))
+	}
+	r := regs[0]
+	if r.Name != "hot" || r.Work != 900 || r.Span != 300 {
+		t.Fatalf("region = %+v", r)
+	}
+	if math.Abs(r.SelfParallelism-3) > 1e-9 {
+		t.Fatalf("self-parallelism = %g, want 3", r.SelfParallelism)
+	}
+	if math.Abs(r.Coverage-0.9) > 1e-9 {
+		t.Fatalf("coverage = %g, want 0.9", r.Coverage)
+	}
+}
+
+func TestRegionsRankedByWork(t *testing.T) {
+	root := tree.NewRoot(
+		tree.NewSec("small", tree.NewTask("t", tree.NewU(100))),
+		tree.NewSec("big",
+			tree.NewTask("t", tree.NewU(500)),
+			tree.NewTask("t", tree.NewU(500)),
+		),
+	)
+	regs := Regions(root)
+	if len(regs) != 2 || regs[0].Name != "big" || regs[1].Name != "small" {
+		t.Fatalf("ranking wrong: %+v", regs)
+	}
+}
+
+func TestRegionsAggregateByName(t *testing.T) {
+	// The same static section executed twice dynamically (the LU shape).
+	mk := func() *tree.Node {
+		return tree.NewSec("elim",
+			tree.NewTask("r", tree.NewU(200)),
+			tree.NewTask("r", tree.NewU(200)),
+		)
+	}
+	root := tree.NewRoot(mk(), mk())
+	regs := Regions(root)
+	if len(regs) != 1 {
+		t.Fatalf("regions = %d, want 1 aggregated", len(regs))
+	}
+	if regs[0].Executions != 2 || regs[0].Work != 800 {
+		t.Fatalf("aggregate = %+v", regs[0])
+	}
+	// Self-parallelism per execution: 800 / (2 * 200) = 2.
+	if math.Abs(regs[0].SelfParallelism-2) > 1e-9 {
+		t.Fatalf("self-parallelism = %g", regs[0].SelfParallelism)
+	}
+}
+
+func TestRegionsNestedFlagAndRecursion(t *testing.T) {
+	inner := tree.NewSec("inner",
+		tree.NewTask("i", tree.NewU(50)),
+		tree.NewTask("i", tree.NewU(50)),
+	)
+	root := tree.NewRoot(tree.NewSec("outer",
+		tree.NewTask("t", inner, tree.NewU(10)),
+	))
+	regs := Regions(root)
+	if len(regs) != 2 {
+		t.Fatalf("regions = %d, want 2", len(regs))
+	}
+	byName := map[string]Region{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	if byName["outer"].Nested || !byName["inner"].Nested {
+		t.Fatalf("nested flags wrong: %+v", regs)
+	}
+	if byName["inner"].Work != 100 {
+		t.Fatalf("inner work = %d", byName["inner"].Work)
+	}
+}
+
+func TestRegionsRepeatCompressed(t *testing.T) {
+	task := tree.NewTask("t", tree.NewU(100))
+	task.Repeat = 10
+	sec := tree.NewSec("s", task)
+	sec.Repeat = 3 // three dynamic executions, compressed
+	root := tree.NewRoot(sec)
+	regs := Regions(root)
+	if len(regs) != 1 {
+		t.Fatalf("regions = %d", len(regs))
+	}
+	r := regs[0]
+	if r.Executions != 3 {
+		t.Fatalf("executions = %d, want 3", r.Executions)
+	}
+	if r.Work != 3_000 {
+		t.Fatalf("work = %d, want 3000", r.Work)
+	}
+	// 1000 work per execution over a 100 span => 10.
+	if math.Abs(r.SelfParallelism-10) > 1e-9 {
+		t.Fatalf("self-parallelism = %g, want 10", r.SelfParallelism)
+	}
+}
+
+func TestRegionsEmpty(t *testing.T) {
+	if regs := Regions(tree.NewRoot(tree.NewU(5))); len(regs) != 0 {
+		t.Fatalf("regions on section-less tree: %+v", regs)
+	}
+}
+
+func TestRegionsRecursiveNoDoubleCount(t *testing.T) {
+	// Quicksort-shaped self-recursion: "halves" nested inside itself.
+	var build func(depth int) *tree.Node
+	build = func(depth int) *tree.Node {
+		if depth == 0 {
+			return tree.NewTask("leaf", tree.NewU(100))
+		}
+		return tree.NewTask("rec",
+			tree.NewSec("halves", build(depth-1), build(depth-1)),
+		)
+	}
+	root := tree.NewRoot(tree.NewSec("top", build(4)))
+	regs := Regions(root)
+	total := float64(root.TotalLen())
+	for _, r := range regs {
+		if r.Coverage > 1.0+1e-9 {
+			t.Fatalf("region %q coverage %.2f > 100%%", r.Name, r.Coverage)
+		}
+		if float64(r.Work) > total {
+			t.Fatalf("region %q work %d exceeds program %v", r.Name, r.Work, total)
+		}
+	}
+	byName := map[string]Region{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	// The outermost "halves" instance covers all the leaf work.
+	if byName["halves"].Work != 1_600 {
+		t.Fatalf("halves work = %d, want 1600", byName["halves"].Work)
+	}
+	if byName["halves"].Executions != 1 {
+		t.Fatalf("halves executions = %d, want 1 (outermost only)", byName["halves"].Executions)
+	}
+}

@@ -1,0 +1,265 @@
+// Package compress shrinks program trees (§VI-B of the paper).
+//
+// Interval profiling records every loop iteration as a separate Task node,
+// so a program tree can become enormous (the paper reports 13.5 GB for NPB
+// CG before compression). Two techniques are applied, mirroring the paper:
+//
+//  1. Run-length encoding: consecutive sibling subtrees whose structure is
+//     identical and whose leaf lengths agree within a relative tolerance
+//     (the paper uses 5%) are merged into one node with Repeat set to the
+//     run length. Leaf lengths of merged runs are length-preserving
+//     weighted averages, so the tree's TotalLen is (almost) unchanged.
+//  2. Dictionary sharing: identical non-adjacent subtrees are replaced by
+//     pointers to a single representative, so each distinct shape is stored
+//     once. Consumers treat trees as immutable, which makes the sharing
+//     safe.
+//
+// If the lossless pass does not shrink the tree below a node budget, a lossy
+// fallback re-runs RLE with progressively larger tolerances (the paper's
+// "last resort"; it was never needed in their experiments and rarely in
+// ours).
+package compress
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"prophet/internal/clock"
+	"prophet/internal/tree"
+)
+
+// DefaultTolerance is the paper's 5% length-variation tolerance.
+const DefaultTolerance = 0.05
+
+// Options configures compression.
+type Options struct {
+	// Tolerance is the relative leaf-length tolerance for considering two
+	// subtrees "the same". Negative disables merging; zero means exact.
+	Tolerance float64
+	// MaxNodes, when > 0, triggers the lossy fallback: if the lossless
+	// pass leaves more than MaxNodes unique nodes, tolerance is doubled
+	// (up to LossyMaxTolerance) and RLE re-applied.
+	MaxNodes int64
+	// LossyMaxTolerance bounds the fallback (default 0.5).
+	LossyMaxTolerance float64
+	// DisableDictionary turns off subtree sharing (used by the ablation
+	// benchmarks to separate RLE and dictionary gains).
+	DisableDictionary bool
+}
+
+// Stats reports the effect of one Compress call.
+type Stats struct {
+	// NodesBefore / NodesAfter are unique (stored) node counts.
+	NodesBefore, NodesAfter int64
+	// LogicalNodes is the fully expanded node count (unchanged by
+	// compression).
+	LogicalNodes int64
+	// BytesBefore / BytesAfter estimate the in-memory footprint.
+	BytesBefore, BytesAfter int64
+	// FinalTolerance is the tolerance actually used (> Tolerance only if
+	// the lossy fallback ran).
+	FinalTolerance float64
+	// Lossy reports whether the fallback widened the tolerance.
+	Lossy bool
+}
+
+// Reduction returns the fractional node-count reduction, e.g. 0.93 for the
+// paper's 93% CG result.
+func (s Stats) Reduction() float64 {
+	if s.NodesBefore == 0 {
+		return 0
+	}
+	return 1 - float64(s.NodesAfter)/float64(s.NodesBefore)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes %d -> %d (%.1f%% reduction, logical %d), bytes %d -> %d, tol %.2g lossy=%v",
+		s.NodesBefore, s.NodesAfter, 100*s.Reduction(), s.LogicalNodes, s.BytesBefore, s.BytesAfter, s.FinalTolerance, s.Lossy)
+}
+
+// Compress compresses the tree rooted at root in place and returns stats.
+func Compress(root *tree.Node, opts Options) Stats {
+	if opts.LossyMaxTolerance <= 0 {
+		opts.LossyMaxTolerance = 0.5
+	}
+	var st Stats
+	st.NodesBefore = uniqueNodes(root)
+	st.BytesBefore = root.ApproxBytes()
+	_, st.LogicalNodes = root.NodeCount()
+
+	tol := opts.Tolerance
+	pass := func() {
+		// Dictionary sharing can turn near-equal siblings into equal
+		// pointers, enabling further RLE merges; iterate to a
+		// fixpoint (bounded — each pass strictly reduces node count).
+		for i := 0; i < 8; i++ {
+			before := uniqueNodes(root)
+			rle(root, tol)
+			if !opts.DisableDictionary {
+				dedupe(root, tol)
+			}
+			if uniqueNodes(root) == before {
+				break
+			}
+		}
+	}
+	pass()
+	st.FinalTolerance = tol
+	if opts.MaxNodes > 0 {
+		for uniqueNodes(root) > opts.MaxNodes && tol < opts.LossyMaxTolerance {
+			if tol <= 0 {
+				tol = DefaultTolerance
+			} else {
+				tol *= 2
+			}
+			if tol > opts.LossyMaxTolerance {
+				tol = opts.LossyMaxTolerance
+			}
+			pass()
+			st.Lossy = true
+			st.FinalTolerance = tol
+		}
+	}
+	st.NodesAfter = uniqueNodes(root)
+	st.BytesAfter = int64(float64(st.BytesBefore) * float64(st.NodesAfter) / float64(max64(st.NodesBefore, 1)))
+	return st
+}
+
+// rle merges runs of equivalent consecutive siblings, recursively,
+// bottom-up.
+func rle(n *tree.Node, tol float64) {
+	for _, c := range n.Children {
+		rle(c, tol)
+	}
+	if tol < 0 || len(n.Children) < 2 {
+		return
+	}
+	out := n.Children[:0]
+	i := 0
+	for i < len(n.Children) {
+		run := n.Children[i]
+		j := i + 1
+		for j < len(n.Children) && tree.Equal(run, n.Children[j], tol) {
+			j++
+		}
+		if j > i+1 {
+			merged := run.Clone()
+			weight := merged.Reps()
+			for k := i + 1; k < j; k++ {
+				mergeInto(merged, n.Children[k], weight, n.Children[k].Reps())
+				weight += n.Children[k].Reps()
+			}
+			merged.Repeat = weight
+			out = append(out, merged)
+		} else {
+			out = append(out, run)
+		}
+		i = j
+	}
+	n.Children = out
+}
+
+// mergeInto folds b's leaf lengths into a as a running weighted average, so
+// the representative of a run keeps the mean length of its members. a and b
+// are structurally equal (same shape), which rle guarantees.
+func mergeInto(a, b *tree.Node, wa, wb int) {
+	if a.Kind == tree.U || a.Kind == tree.L || a.Kind == tree.W {
+		a.Len = clock.Cycles(math.Round((float64(a.Len)*float64(wa) + float64(b.Len)*float64(wb)) / float64(wa+wb)))
+		a.Mem.Instructions = weightedAvg(a.Mem.Instructions, b.Mem.Instructions, wa, wb)
+		a.Mem.LLCMisses = weightedAvg(a.Mem.LLCMisses, b.Mem.LLCMisses, wa, wb)
+	}
+	for i := range a.Children {
+		if i < len(b.Children) {
+			mergeInto(a.Children[i], b.Children[i], wa, wb)
+		}
+	}
+}
+
+func weightedAvg(a, b int64, wa, wb int) int64 {
+	return int64(math.Round((float64(a)*float64(wa) + float64(b)*float64(wb)) / float64(wa+wb)))
+}
+
+// dedupe shares identical subtrees through a structural-hash dictionary.
+// Two subtrees are shared only when tree.Equal within tol; the hash buckets
+// candidates (quantized lengths) and Equal confirms.
+func dedupe(n *tree.Node, tol float64) {
+	dict := make(map[uint64][]*tree.Node)
+	var visit func(node *tree.Node)
+	visit = func(node *tree.Node) {
+		for i, c := range node.Children {
+			visit(c)
+			h := structuralHash(c, tol)
+			found := false
+			for _, cand := range dict[h] {
+				if cand != c && tree.Equal(cand, c, tol) && cand.Reps() == c.Reps() {
+					node.Children[i] = cand
+					found = true
+					break
+				}
+			}
+			if !found {
+				dict[h] = append(dict[h], node.Children[i])
+			}
+		}
+	}
+	visit(n)
+}
+
+// structuralHash hashes a subtree's shape. Leaf lengths are quantized by the
+// tolerance so near-equal subtrees collide and Equal can confirm.
+func structuralHash(n *tree.Node, tol float64) uint64 {
+	h := fnv.New64a()
+	var write func(node *tree.Node)
+	write = func(node *tree.Node) {
+		var buf [8]byte
+		buf[0] = byte(node.Kind)
+		buf[1] = byte(node.Reps())
+		buf[2] = byte(node.LockID)
+		if node.NoWait {
+			buf[3] = 1
+		}
+		q := int64(node.Len)
+		if tol > 0 && node.Len > 0 {
+			// Quantize to log-scale buckets of width ~tol.
+			q = int64(math.Log(float64(node.Len)) / tol / 2)
+		}
+		for i := 0; i < 4; i++ {
+			buf[4+i] = byte(q >> (8 * i))
+		}
+		h.Write(buf[:])
+		for _, c := range node.Children {
+			write(c)
+		}
+		h.Write([]byte{0xFF})
+	}
+	write(n)
+	return h.Sum64()
+}
+
+// uniqueNodes counts distinct stored nodes (shared subtrees counted once).
+func uniqueNodes(root *tree.Node) int64 {
+	seen := make(map[*tree.Node]bool)
+	var visit func(n *tree.Node)
+	visit = func(n *tree.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	visit(root)
+	return int64(len(seen))
+}
+
+// UniqueNodes exposes the unique-node count for reports and tests.
+func UniqueNodes(root *tree.Node) int64 { return uniqueNodes(root) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

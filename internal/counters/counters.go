@@ -1,0 +1,73 @@
+// Package counters defines the hardware-performance-counter sample the
+// memory model consumes (§V of the paper).
+//
+// The paper reads PAPI counters (retired instructions, LLC misses, cycles)
+// around each top-level parallel section. This reproduction collects the
+// same quantities from the simulated cache/DRAM system; the memory model is
+// agnostic to where the numbers came from.
+package counters
+
+import "prophet/internal/clock"
+
+// LineSize is the cache-line size in bytes; one LLC miss moves one line.
+const LineSize = 64
+
+// Sample holds the counter values observed over one profiled interval
+// (typically one dynamic execution of a top-level parallel section).
+type Sample struct {
+	// Instructions is N in the paper's Eq. (1): retired instructions.
+	Instructions int64
+	// Cycles is T: elapsed cycles over the interval.
+	Cycles clock.Cycles
+	// LLCMisses is D: last-level-cache misses (== DRAM accesses under the
+	// paper's Assumption 3).
+	LLCMisses int64
+}
+
+// Add accumulates another sample into s (used when a top-level section
+// executes multiple times; the model then averages, per §V).
+func (s *Sample) Add(o Sample) {
+	s.Instructions += o.Instructions
+	s.Cycles += o.Cycles
+	s.LLCMisses += o.LLCMisses
+}
+
+// MPI returns the LLC misses per instruction (D/N). Zero instructions give 0.
+func (s Sample) MPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.LLCMisses) / float64(s.Instructions)
+}
+
+// CPI returns cycles per instruction (T/N). Zero instructions give 0.
+func (s Sample) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// TrafficBytesPerCycle returns the DRAM traffic generated over the interval
+// in bytes per cycle (D · LineSize / T).
+func (s Sample) TrafficBytesPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.LLCMisses) * LineSize / float64(s.Cycles)
+}
+
+// TrafficMBps returns the DRAM traffic in MB/s assuming the core runs at hz
+// cycles per second. This is δ in the paper's Eq. (4)–(7), which are stated
+// in MB/s.
+func (s Sample) TrafficMBps(hz float64) float64 {
+	if hz <= 0 {
+		hz = clock.DefaultHz
+	}
+	return s.TrafficBytesPerCycle() * hz / 1e6
+}
+
+// IsZero reports whether no events were recorded.
+func (s Sample) IsZero() bool {
+	return s.Instructions == 0 && s.Cycles == 0 && s.LLCMisses == 0
+}

@@ -1,0 +1,73 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/clock"
+)
+
+func TestZeroSample(t *testing.T) {
+	var s Sample
+	if !s.IsZero() {
+		t.Fatal("zero sample should report IsZero")
+	}
+	if s.MPI() != 0 || s.CPI() != 0 || s.TrafficBytesPerCycle() != 0 {
+		t.Fatal("zero sample should have zero derived metrics")
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	s := Sample{Instructions: 1000, Cycles: 2500, LLCMisses: 10}
+	if got, want := s.MPI(), 0.01; got != want {
+		t.Errorf("MPI = %g, want %g", got, want)
+	}
+	if got, want := s.CPI(), 2.5; got != want {
+		t.Errorf("CPI = %g, want %g", got, want)
+	}
+	if got, want := s.TrafficBytesPerCycle(), 10.0*64/2500; got != want {
+		t.Errorf("traffic = %g B/cyc, want %g", got, want)
+	}
+}
+
+func TestTrafficMBps(t *testing.T) {
+	// 1 miss per cycle at 1e6 Hz => 64e6 B/s == 64 MB/s.
+	s := Sample{Cycles: 100, LLCMisses: 100}
+	if got := s.TrafficMBps(1e6); math.Abs(got-64) > 1e-9 {
+		t.Fatalf("TrafficMBps = %g, want 64", got)
+	}
+	// Non-positive hz falls back to the default frequency.
+	if got := s.TrafficMBps(0); got <= 0 {
+		t.Fatalf("TrafficMBps(0) = %g, want > 0", got)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := Sample{Instructions: 10, Cycles: 20, LLCMisses: 3}
+	b := Sample{Instructions: 5, Cycles: 7, LLCMisses: 1}
+	a.Add(b)
+	want := Sample{Instructions: 15, Cycles: 27, LLCMisses: 4}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+// Property: Add is commutative and derived metrics stay finite/non-negative
+// for non-negative inputs.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(ai, ac, ad, bi, bc, bd uint16) bool {
+		a := Sample{Instructions: int64(ai), Cycles: clock.Cycles(ac) + 1, LLCMisses: int64(ad)}
+		b := Sample{Instructions: int64(bi), Cycles: clock.Cycles(bc) + 1, LLCMisses: int64(bd)}
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		if x != y {
+			return false
+		}
+		return x.MPI() >= 0 && x.CPI() >= 0 && x.TrafficBytesPerCycle() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

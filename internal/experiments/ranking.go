@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prophet"
+	"prophet/internal/report"
+	"prophet/internal/workloads"
+)
+
+// ScheduleRanking measures what a programmer actually uses the tool for
+// (§I: "programmers can interactively use the tool to modify their source
+// code"): given a program, does the predictor pick the *right schedule*
+// and rank the alternatives correctly — even when absolute speedups are
+// off?
+//
+// For each random Test1 sample, the FF predicts the speedup of every
+// schedule; the result counts how often the predicted-best schedule is
+// truly best (within a tie tolerance) and how often the full ranking
+// matches the machine's.
+func ScheduleRanking(cfg Config) *report.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	coresUnder := []int{4, 8, 12}
+	type tally struct{ bestHits, fullHits, n int }
+	tallies := make([]tally, len(coresUnder))
+
+	const tieTol = 0.03 // 3%: schedules this close count as tied
+
+	for s := 0; s < cfg.Samples; s++ {
+		prog := workloads.RandomTest1(rng).Program()
+		prof, err := prophet.ProfileProgram(prog, &prophet.Options{
+			Machine: cfg.Machine, DisableMemoryModel: true,
+		})
+		if err != nil {
+			continue
+		}
+		for ci, cores := range coresUnder {
+			var pred, real [3]float64
+			for si, sched := range fig11Scheds {
+				pred[si] = prof.Estimate(prophet.Request{
+					Method: prophet.FastForward, Threads: cores, Sched: sched,
+				}).Speedup
+				real[si] = prof.RealSpeedup(prophet.Request{Threads: cores, Sched: sched})
+			}
+			pb, rb := argmax(pred[:]), argmax(real[:])
+			// Best-pick hit: the predicted winner is truly best, or
+			// within the tie tolerance of the true best.
+			if pb == rb || real[pb] >= real[rb]*(1-tieTol) {
+				tallies[ci].bestHits++
+			}
+			if sameOrder(pred[:], real[:], tieTol) {
+				tallies[ci].fullHits++
+			}
+			tallies[ci].n++
+		}
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Schedule-choice accuracy (FF, %d Test1 samples): does the tool pick the right schedule?", cfg.Samples),
+		"cores", "best schedule correct", "full ranking correct")
+	for ci, cores := range coresUnder {
+		ta := tallies[ci]
+		if ta.n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", cores),
+			fmt.Sprintf("%.0f%%", 100*float64(ta.bestHits)/float64(ta.n)),
+			fmt.Sprintf("%.0f%%", 100*float64(ta.fullHits)/float64(ta.n)))
+	}
+	return t
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+		_ = i
+	}
+	return best
+}
+
+// sameOrder reports whether pred ranks the schedules in the same order as
+// real, treating real values within tol of each other as interchangeable.
+func sameOrder(pred, real []float64, tol float64) bool {
+	n := len(pred)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// If reality clearly separates i and j, the prediction
+			// must order them the same way.
+			if real[i] > real[j]*(1+tol) && pred[i] < pred[j] {
+				return false
+			}
+			if real[j] > real[i]*(1+tol) && pred[j] < pred[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

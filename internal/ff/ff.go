@@ -1,0 +1,441 @@
+// Package ff implements Parallel Prophet's fast-forwarding emulation (the
+// FF, §IV-C of the paper): an analytical, priority-heap emulator that
+// replays a program tree onto abstract CPUs and fast-forwards a
+// pseudo-clock from event to event.
+//
+// The FF models:
+//
+//   - OpenMP loop schedules — (static), (static,c), (dynamic,c), (guided) —
+//     so schedule-dependent speedups come out differently (Fig. 5);
+//   - multiple locks with FIFO arbitration in pseudo-time order, so lock
+//     contention serializes critical sections exactly as a real mutex
+//     would for the profiled arrival order;
+//   - parallel overheads (fork/join, per-chunk dispatch, lock enter/exit)
+//     using the same constants as the OpenMP runtime in internal/omprt, the
+//     EPCC-style calibration the paper describes;
+//   - burden factors: every U/L length inside a top-level section is
+//     multiplied by the section's β_t from the memory model (§V).
+//
+// Nested sections are handled the way the paper *documents as the FF's
+// limitation* (§IV-D): nested tasks are assigned to the global CPUs
+// round-robin and run non-preemptively, with no OS time slicing. This is
+// deliberate — it reproduces Fig. 7, where the FF (and Suitability)
+// predict 1.5x for a two-level nested loop whose real speedup is 2.0x; the
+// synthesizer (internal/synth) is the paper's fix.
+package ff
+
+import (
+	"container/heap"
+	"math"
+
+	"prophet/internal/clock"
+	"prophet/internal/omprt"
+	"prophet/internal/tree"
+)
+
+// Emulator predicts the parallel execution time of a program tree for one
+// (threads, schedule) configuration.
+type Emulator struct {
+	// Threads is the CPU count to predict for.
+	Threads int
+	// Sched is the OpenMP scheduling policy to emulate.
+	Sched omprt.Sched
+	// Ov holds the parallel-overhead constants (use
+	// omprt.DefaultOverheads for the calibrated values; zero for an
+	// idealized machine).
+	Ov omprt.Overheads
+	// UseBurden applies the memory model's burden factors when set
+	// (the paper's "PredM"); otherwise lengths are used as profiled
+	// ("Pred").
+	UseBurden bool
+}
+
+// PredictTime returns the emulated parallel execution time of the whole
+// program: emulated top-level sections plus the untouched serial regions
+// (the formula of §IV-E applied to the FF).
+func (e *Emulator) PredictTime(root *tree.Node) clock.Cycles {
+	total := root.SerialOutsideSections()
+	for _, sec := range root.TopLevelSections() {
+		// A Repeat-compressed top-level section ran Reps times
+		// back-to-back in the serial program.
+		total += e.emulateTopSection(sec) * clock.Cycles(sec.Reps())
+	}
+	return total
+}
+
+// Speedup returns serial time / predicted parallel time.
+func (e *Emulator) Speedup(root *tree.Node) float64 {
+	serial := root.TotalLen()
+	pred := e.PredictTime(root)
+	if pred <= 0 {
+		return 1
+	}
+	return float64(serial) / float64(pred)
+}
+
+// threadCount clamps the configured thread count.
+func (e *Emulator) threads() int {
+	if e.Threads < 1 {
+		return 1
+	}
+	return e.Threads
+}
+
+// state is the per-emulation shared state: the per-CPU occupancy of
+// *nested* work, the lock free-times, and the burden factor of the
+// enclosing top-level section.
+//
+// avail tracks only nested-section placements: nested tasks are mapped
+// onto CPUs round-robin and non-preemptively, so concurrent nested
+// sections contend for the same CPU slots (the §IV-D limitation that
+// yields Fig. 7's 1.5x), while the section's own workers keep their own
+// clocks — matching the accuracy profile the paper reports (exact on
+// single-level loops, moderate average error with a heavy tail on nested
+// programs).
+type state struct {
+	avail    []clock.Cycles // per-CPU busy-until for nested work
+	lockFree map[int]clock.Cycles
+	burden   float64
+	ov       omprt.Overheads
+	sched    omprt.Sched
+}
+
+func (e *Emulator) emulateTopSection(sec *tree.Node) clock.Cycles {
+	p := e.threads()
+	burden := 1.0
+	if e.UseBurden {
+		burden = sec.BurdenFor(p)
+	}
+	st := &state{
+		avail:    make([]clock.Cycles, p),
+		lockFree: make(map[int]clock.Cycles),
+		burden:   burden,
+		ov:       e.Ov,
+		sched:    e.Sched,
+	}
+	if sec.Pipeline {
+		return emulatePipeline(st, sec, 0, p)
+	}
+	return emulateSection(st, sec, 0, p)
+}
+
+// taskRef is one logical task (Repeat runs expanded lazily by index).
+type taskRef struct {
+	node *tree.Node
+}
+
+// expandTasks returns the logical task list of a section.
+func expandTasks(sec *tree.Node) []taskRef {
+	var out []taskRef
+	for _, c := range sec.Children {
+		if c.Kind != tree.Task {
+			continue
+		}
+		for r := 0; r < c.Reps(); r++ {
+			out = append(out, taskRef{node: c})
+		}
+	}
+	return out
+}
+
+// worker is one emulated team member inside a section emulation. Workers
+// advance one segment at a time through the priority heap, so lock
+// acquisitions across workers happen in pseudo-time order (Fig. 5 depends
+// on this: the thread that reaches the lock earlier gets it first).
+type worker struct {
+	idx  int // heap index bookkeeping
+	id   int // worker rank
+	cpu  int
+	time clock.Cycles
+	// static assignment queue; dynamic workers pull from the shared
+	// counter instead.
+	tasks []taskRef
+	pos   int
+
+	// Cursor into the currently executing task.
+	cur    *tree.Node
+	segIdx int
+	repIdx int
+	// pendingJoin is the latest finish time of nowait nested sections
+	// started by the current task; the task joins them when it ends.
+	pendingJoin clock.Cycles
+}
+
+type workerHeap []*worker
+
+func (h workerHeap) Len() int { return len(h) }
+func (h workerHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h workerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *workerHeap) Push(x interface{}) {
+	w := x.(*worker)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// emulateSection emulates one section (top-level or nested) starting at
+// time start on p CPUs and returns its duration including fork/join
+// overhead. Nested sections are emulated when the enclosing worker reaches
+// them (see runTask).
+func emulateSection(st *state, sec *tree.Node, start clock.Cycles, p int) clock.Cycles {
+	tasks := expandTasks(sec)
+	n := len(tasks)
+	if n == 0 {
+		return 0
+	}
+	nt := p
+	if nt > n {
+		nt = n
+	}
+	// The master forks nt-1 workers.
+	begin := start + st.ov.ForkPerThread*clock.Cycles(nt-1)
+
+	workers := make([]*worker, nt)
+	for w := 0; w < nt; w++ {
+		workers[w] = &worker{id: w, cpu: w % p, time: begin + st.ov.WorkerInit}
+	}
+	assignStatic(st.sched, workers, tasks)
+	shared := &fetchState{tasks: tasks, sched: st.sched, nt: nt}
+
+	h := make(workerHeap, 0, nt)
+	for _, w := range workers {
+		h = append(h, w)
+	}
+	heap.Init(&h)
+	var finish clock.Cycles
+	for h.Len() > 0 {
+		w := h[0]
+		if w.cur == nil {
+			tr, dispatch, ok := nextTask(st, w, shared)
+			if !ok {
+				if w.time > finish {
+					finish = w.time
+				}
+				heap.Pop(&h)
+				continue
+			}
+			w.time += dispatch
+			w.cur, w.segIdx, w.repIdx = tr.node, 0, 0
+		}
+		stepSegment(st, w, p)
+		heap.Fix(&h, 0)
+	}
+	return finish - start + st.ov.JoinBarrier
+}
+
+// stepSegment executes the worker's next segment and advances its cursor;
+// when the task's last segment completes, the cursor is cleared so the
+// next heap visit fetches a new task.
+func stepSegment(st *state, w *worker, p int) {
+	// Skip any empty segment positions.
+	for w.segIdx < len(w.cur.Children) {
+		seg := w.cur.Children[w.segIdx]
+		if w.repIdx >= seg.Reps() {
+			w.segIdx++
+			w.repIdx = 0
+			continue
+		}
+		w.repIdx++
+		execSegment(st, w, seg, p)
+		return
+	}
+	// Task finished: join any nowait nested sections it started.
+	if w.pendingJoin > w.time {
+		w.time = w.pendingJoin
+	}
+	w.pendingJoin = 0
+	w.cur = nil
+}
+
+// fetchState is the shared iteration counter of dynamic/guided schedules.
+type fetchState struct {
+	tasks []taskRef
+	next  int
+	sched omprt.Sched
+	nt    int
+}
+
+// assignStatic precomputes task queues for the static schedules.
+func assignStatic(sched omprt.Sched, workers []*worker, tasks []taskRef) {
+	nt := len(workers)
+	n := len(tasks)
+	switch sched.Kind {
+	case omprt.Static:
+		base := n / nt
+		rem := n % nt
+		lo := 0
+		for k := 0; k < nt; k++ {
+			hi := lo + base
+			if k < rem {
+				hi++
+			}
+			workers[k].tasks = tasks[lo:hi]
+			lo = hi
+		}
+	case omprt.StaticChunk:
+		chunk := sched.Chunk
+		if chunk < 1 {
+			chunk = 1
+		}
+		for k := 0; k < nt; k++ {
+			for lo := k * chunk; lo < n; lo += nt * chunk {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				workers[k].tasks = append(workers[k].tasks, tasks[lo:hi]...)
+			}
+		}
+	}
+}
+
+// nextTask yields the worker's next task and its dispatch overhead.
+func nextTask(st *state, w *worker, shared *fetchState) (taskRef, clock.Cycles, bool) {
+	switch st.sched.Kind {
+	case omprt.Static, omprt.StaticChunk:
+		if w.pos >= len(w.tasks) {
+			return taskRef{}, 0, false
+		}
+		tr := w.tasks[w.pos]
+		w.pos++
+		return tr, st.ov.StaticDispatch, true
+	case omprt.Dynamic:
+		if shared.next >= len(shared.tasks) {
+			return taskRef{}, 0, false
+		}
+		tr := shared.tasks[shared.next]
+		shared.next++
+		return tr, st.ov.Dispatch, true
+	case omprt.Guided:
+		// Guided hands out shrinking chunks; the FF emulates it at
+		// task granularity, charging the dispatch once per chunk.
+		if shared.next >= len(shared.tasks) {
+			return taskRef{}, 0, false
+		}
+		remaining := len(shared.tasks) - shared.next
+		c := remaining / (2 * shared.nt)
+		if c < 1 {
+			c = 1
+		}
+		// Return one task; amortize dispatch over the chunk.
+		tr := shared.tasks[shared.next]
+		shared.next++
+		d := clock.Cycles(math.Ceil(float64(st.ov.Dispatch) / float64(c)))
+		return tr, d, true
+	}
+	return taskRef{}, 0, false
+}
+
+// scaled applies the burden factor to a profiled length.
+func (st *state) scaled(l clock.Cycles) clock.Cycles {
+	if st.burden == 1 {
+		return l
+	}
+	return clock.Cycles(float64(l)*st.burden + 0.5)
+}
+
+// execSegment executes one U/L/Sec segment on worker w.
+func execSegment(st *state, w *worker, seg *tree.Node, p int) {
+	switch seg.Kind {
+	case tree.U, tree.W:
+		// The FF has no notion of a freed CPU: an I/O wait advances
+		// the worker clock like computation. The machine-backed
+		// emulators model W faithfully (cores freed, real core
+		// limit); the FF is accurate only while workers <= CPUs.
+		w.time += st.scaled(seg.Len)
+	case tree.L:
+		t := w.time
+		if f := st.lockFree[seg.LockID]; f > t {
+			t = f
+		}
+		t += st.ov.LockEnter + st.scaled(seg.Len) + st.ov.LockExit
+		st.lockFree[seg.LockID] = t
+		w.time = t
+	case tree.Sec:
+		// Nested parallelism: emulated in place with round-robin CPU
+		// assignment starting at this worker's CPU (the FF
+		// limitation, §IV-D: whole nodes are placed non-preemptively,
+		// which is exactly what makes Fig. 7 come out as 1.5x).
+		// Nested pipeline sections use the pipeline schedule.
+		var dur clock.Cycles
+		if seg.Pipeline {
+			dur = emulatePipeline(st, seg, w.time, p)
+		} else {
+			dur = emulateNested(st, seg, w.time, w.cpu, p)
+		}
+		if seg.NoWait {
+			// OpenMP nowait: the enclosing task proceeds without
+			// the implicit barrier; the section is joined at the
+			// end of the task instead.
+			if end := w.time + dur; end > w.pendingJoin {
+				w.pendingJoin = end
+			}
+		} else {
+			w.time += dur
+		}
+	}
+}
+
+// runTask executes a whole task synchronously (used for nested sections,
+// where the FF does not interleave with the outer workers).
+func runTask(st *state, w *worker, task *tree.Node, p int) {
+	for _, seg := range task.Children {
+		for r := 0; r < seg.Reps(); r++ {
+			execSegment(st, w, seg, p)
+		}
+	}
+	if w.pendingJoin > w.time {
+		w.time = w.pendingJoin
+	}
+	w.pendingJoin = 0
+}
+
+// emulateNested runs a nested section by assigning its tasks round-robin
+// over all CPUs starting at homeCPU, each task starting no earlier than
+// both the section start and its CPU's availability. It returns the
+// section duration.
+func emulateNested(st *state, sec *tree.Node, start clock.Cycles, homeCPU, p int) clock.Cycles {
+	tasks := expandTasks(sec)
+	if len(tasks) == 0 {
+		return 0
+	}
+	begin := start + st.ov.ForkPerThread*clock.Cycles(minInt(p, len(tasks))-1)
+	var finish clock.Cycles
+	for j, tr := range tasks {
+		cpu := (homeCPU + j) % p
+		t := begin + st.ov.WorkerInit
+		if a := st.avail[cpu]; a > t {
+			t = a
+		}
+		t += st.ov.Dispatch
+		nw := &worker{id: j, cpu: cpu, time: t}
+		runTask(st, nw, tr.node, p)
+		st.avail[cpu] = nw.time
+		if nw.time > finish {
+			finish = nw.time
+		}
+	}
+	return finish - start + st.ov.JoinBarrier
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package ff
+
+import (
+	"prophet/internal/clock"
+	"prophet/internal/pipesim"
+	"prophet/internal/tree"
+)
+
+// This file emulates pipeline-parallel sections — the paper's §VIII
+// extension ("pipelining can be easily supported by extending annotations
+// [23] and the emulation algorithm"), after Thies et al.'s coarse-grained
+// pipeline parallelism for C loops.
+//
+// Model: a pipeline section's tasks are loop iterations; the segments of
+// each task are stages. Stage s of iteration i may start only after
+//
+//	stage s-1 of iteration i   (data flows through the iteration), and
+//	stage s   of iteration i-1 (each stage processes iterations in order).
+//
+// Stages are bound to workers round-robin (stage s -> worker s mod nt),
+// the standard decoupled-software-pipelining assignment, so a stage also
+// waits for its worker's previous work. L stages additionally serialize on
+// their lock.
+
+// emulatePipeline fast-forwards one pipeline section starting at start on
+// p CPUs and returns its duration including fork/join overhead. Stages
+// are fused into contiguous, weight-balanced groups, one worker per group
+// (pipesim.PartitionStages), so the FF and the machine execution model the
+// same assignment.
+func emulatePipeline(st *state, sec *tree.Node, start clock.Cycles, p int) clock.Cycles {
+	tasks := expandTasks(sec)
+	n := len(tasks)
+	if n == 0 {
+		return 0
+	}
+	groups := pipesim.PartitionStages(sec, p)
+	depth := len(groups)
+	if depth == 0 {
+		return 0
+	}
+	nt := 0
+	for _, g := range groups {
+		if g+1 > nt {
+			nt = g + 1
+		}
+	}
+	begin := start + st.ov.ForkPerThread*clock.Cycles(nt-1) + st.ov.WorkerInit
+
+	workerTime := make([]clock.Cycles, nt)
+	for w := range workerTime {
+		workerTime[w] = begin
+	}
+	stageFinish := make([]clock.Cycles, depth) // finish of stage s, previous iteration
+	var finish clock.Cycles
+	for _, tr := range tasks {
+		slots := pipesim.StageSlots(tr.node)
+		var prevStageEnd clock.Cycles = begin
+		for s, seg := range slots {
+			if s >= depth {
+				break
+			}
+			w := groups[s]
+			t := workerTime[w]
+			if prevStageEnd > t {
+				t = prevStageEnd
+			}
+			if stageFinish[s] > t {
+				t = stageFinish[s]
+			}
+			t += st.ov.Dispatch
+			switch seg.Kind {
+			case tree.L:
+				if f := st.lockFree[seg.LockID]; f > t {
+					t = f
+				}
+				t += st.ov.LockEnter + st.scaled(seg.Len) + st.ov.LockExit
+				st.lockFree[seg.LockID] = t
+			default: // U
+				t += st.scaled(seg.Len)
+			}
+			workerTime[w] = t
+			stageFinish[s] = t
+			prevStageEnd = t
+		}
+		if prevStageEnd > finish {
+			finish = prevStageEnd
+		}
+	}
+	return finish - start + st.ov.JoinBarrier
+}

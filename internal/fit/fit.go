@@ -1,0 +1,136 @@
+// Package fit provides the least-squares fits the memory performance model
+// needs (§V of the paper): straight lines for Eq. (6)'s two-thread form,
+// log-linear curves (a·ln x + b) for its four-plus-thread forms, and power
+// laws (a·x^b) for Eq. (7).
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegenerate is returned when a fit has too few usable points or no
+// variance in x.
+var ErrDegenerate = errors.New("fit: degenerate input")
+
+// Line is y = A·x + B.
+type Line struct {
+	A, B float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// Eval evaluates the line at x.
+func (l Line) Eval(x float64) float64 { return l.A*x + l.B }
+
+// Linear fits y = a·x + b by ordinary least squares.
+func Linear(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Line{}, ErrDegenerate
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Line{}, ErrDegenerate
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	return Line{A: a, B: b, R2: r2(xs, ys, func(x float64) float64 { return a*x + b })}, nil
+}
+
+// LogLine is y = A·ln(x) + B.
+type LogLine struct {
+	A, B float64
+	R2   float64
+}
+
+// Eval evaluates the curve at x (x must be positive; non-positive x yields
+// the value at the smallest positive argument to stay finite).
+func (l LogLine) Eval(x float64) float64 {
+	if x <= 0 {
+		x = math.SmallestNonzeroFloat64
+	}
+	return l.A*math.Log(x) + l.B
+}
+
+// LogLinear fits y = a·ln(x) + b. Points with non-positive x are skipped.
+func LogLinear(xs, ys []float64) (LogLine, error) {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, ys[i])
+		}
+	}
+	line, err := Linear(lx, ly)
+	if err != nil {
+		return LogLine{}, err
+	}
+	out := LogLine{A: line.A, B: line.B}
+	out.R2 = r2(xs, ys, out.Eval)
+	return out, nil
+}
+
+// Power is y = A·x^B.
+type Power struct {
+	A, B float64
+	R2   float64
+}
+
+// Eval evaluates the power law at x (non-positive x yields +Inf or 0
+// depending on the exponent's sign; callers clamp their domain).
+func (p Power) Eval(x float64) float64 {
+	return p.A * math.Pow(x, p.B)
+}
+
+// PowerLaw fits y = a·x^b via a linear fit in log-log space. Points with
+// non-positive coordinates are skipped.
+func PowerLaw(xs, ys []float64) (Power, error) {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	line, err := Linear(lx, ly)
+	if err != nil {
+		return Power{}, err
+	}
+	out := Power{A: math.Exp(line.B), B: line.A}
+	out.R2 = r2(xs, ys, out.Eval)
+	return out, nil
+}
+
+// r2 computes the coefficient of determination of model f on (xs, ys).
+func r2(xs, ys []float64, f func(float64) float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range ys {
+		d := ys[i] - f(xs[i])
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,152 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	l, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-3) > 1e-12 || math.Abs(l.B+7) > 1e-12 {
+		t.Fatalf("fit = %+v, want A=3 B=-7", l)
+	}
+	if l.R2 < 0.999999 {
+		t.Fatalf("R2 = %g, want ~1", l.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 2*x+5+rng.NormFloat64())
+	}
+	l, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-2) > 0.01 || math.Abs(l.B-5) > 1 {
+		t.Fatalf("noisy fit = %+v", l)
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Linear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance accepted")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLogLinearExact(t *testing.T) {
+	// The paper's Eq. (6) shape: δ4 = (5756·ln δ − 38805)/4.
+	a, b := 5756.0/4, -38805.0/4
+	var xs, ys []float64
+	for d := 2000.0; d <= 20000; d += 1500 {
+		xs = append(xs, d)
+		ys = append(ys, a*math.Log(d)+b)
+	}
+	l, err := LogLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-a)/a > 1e-9 || math.Abs(l.B-b)/(-b) > 1e-9 {
+		t.Fatalf("fit = %+v, want A=%g B=%g", l, a, b)
+	}
+	if got := l.Eval(5000); math.Abs(got-(a*math.Log(5000)+b)) > 1e-6 {
+		t.Fatalf("Eval mismatch: %g", got)
+	}
+}
+
+func TestLogLinearSkipsNonPositiveX(t *testing.T) {
+	xs := []float64{-1, 0, math.E, math.E * math.E}
+	ys := []float64{99, 99, 1, 2}
+	l, err := LogLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-1) > 1e-12 || math.Abs(l.B-0) > 1e-12 {
+		t.Fatalf("fit = %+v, want y = ln x", l)
+	}
+}
+
+func TestPowerLawExact(t *testing.T) {
+	// The paper's Eq. (7): ω = 101481·δ^-0.964.
+	a, b := 101481.0, -0.964
+	var xs, ys []float64
+	for d := 2000.0; d <= 16000; d += 1000 {
+		xs = append(xs, d)
+		ys = append(ys, a*math.Pow(d, b))
+	}
+	p, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.A-a)/a > 1e-9 || math.Abs(p.B-b) > 1e-9 {
+		t.Fatalf("fit = %+v, want A=%g B=%g", p, a, b)
+	}
+	if p.R2 < 0.999999 {
+		t.Fatalf("R2 = %g", p.R2)
+	}
+}
+
+func TestPowerLawEvalDomain(t *testing.T) {
+	p := Power{A: 2, B: -1}
+	if got := p.Eval(4); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Eval(4) = %g, want 0.5", got)
+	}
+}
+
+// Property: a linear fit on points generated from a line recovers the line,
+// for any slope/intercept.
+func TestLinearRecoveryProperty(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		xs := []float64{0, 1, 2, 3, 4, 5}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		l, err := Linear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(l.A-a) < 1e-6 && math.Abs(l.B-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR2DistinguishesGoodAndBadModels(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2, 4, 6, 8, 10, 12}
+	good, _ := Linear(xs, ys)
+	if good.R2 < 0.99 {
+		t.Fatalf("good model R2 = %g", good.R2)
+	}
+	// Fit a power law to oscillating data: R2 should be clearly lower.
+	bad, err := PowerLaw([]float64{1, 2, 3, 4, 5, 6}, []float64{5, 1, 5, 1, 5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.R2 > 0.5 {
+		t.Fatalf("bad model R2 = %g, want low", bad.R2)
+	}
+}

@@ -1,0 +1,282 @@
+package hostexec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prophet/internal/clock"
+	"prophet/internal/omprt"
+	"prophet/internal/synth"
+	"prophet/internal/tree"
+)
+
+// The host has an unknown core count (possibly 1), so these tests assert
+// correctness — every iteration exactly once, mutual exclusion, ordering —
+// not speedups.
+
+func TestParallelForAllSchedules(t *testing.T) {
+	for _, sched := range []omprt.Sched{
+		omprt.SchedStatic, omprt.SchedStatic1, omprt.SchedDynamic1, omprt.SchedGuided,
+		{Kind: omprt.Dynamic, Chunk: 7},
+	} {
+		n := 237
+		counts := make([]int32, n)
+		ParallelFor(4, n, sched, func(w, i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%v: iteration %d ran %d times", sched, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForDegenerate(t *testing.T) {
+	ran := false
+	ParallelFor(0, 1, omprt.SchedStatic, func(w, i int) { ran = true })
+	if !ran {
+		t.Fatal("nthreads clamp failed")
+	}
+	ParallelFor(4, 0, omprt.SchedStatic, func(w, i int) { t.Fatal("body ran for n=0") })
+}
+
+func TestPoolSpawnSync(t *testing.T) {
+	p := NewPool(4)
+	var sum atomic.Int64
+	p.Run(func(c *Ctx) {
+		for i := 1; i <= 100; i++ {
+			i := i
+			c.Spawn(func(*Ctx) { sum.Add(int64(i)) })
+		}
+		c.Sync()
+		if got := sum.Load(); got != 5050 {
+			t.Errorf("after sync: sum = %d, want 5050", got)
+		}
+	})
+}
+
+func TestPoolImplicitSyncAtReturn(t *testing.T) {
+	p := NewPool(2)
+	var leaf atomic.Bool
+	p.Run(func(c *Ctx) {
+		c.Spawn(func(cc *Ctx) {
+			cc.Spawn(func(*Ctx) {
+				time.Sleep(time.Millisecond)
+				leaf.Store(true)
+			})
+			// no explicit sync: implicit at return
+		})
+		c.Sync()
+		if !leaf.Load() {
+			t.Error("grandchild escaped the implicit sync")
+		}
+	})
+}
+
+func TestPoolForCoversRange(t *testing.T) {
+	p := NewPool(3)
+	n := 500
+	counts := make([]int32, n)
+	p.Run(func(c *Ctx) {
+		c.For(n, 0, func(cc *Ctx, i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+	})
+	for i, cnt := range counts {
+		if cnt != 1 {
+			t.Fatalf("iteration %d ran %d times", i, cnt)
+		}
+	}
+}
+
+func TestPoolNestedFor(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	p.Run(func(c *Ctx) {
+		c.For(10, 1, func(cc *Ctx, i int) {
+			cc.For(10, 1, func(_ *Ctx, j int) {
+				total.Add(1)
+			})
+		})
+	})
+	if total.Load() != 100 {
+		t.Fatalf("nested for executed %d bodies, want 100", total.Load())
+	}
+}
+
+func TestFakeDelayDuration(t *testing.T) {
+	hz := clock.DefaultHz
+	start := time.Now()
+	FakeDelay(clock.Cycles(hz/100), hz) // 10 ms
+	got := time.Since(start)
+	if got < 9*time.Millisecond {
+		t.Fatalf("FakeDelay returned after %v, want >= ~10ms", got)
+	}
+	if got > 200*time.Millisecond {
+		t.Fatalf("FakeDelay took %v, far beyond 10ms", got)
+	}
+	// Degenerate inputs return immediately.
+	start = time.Now()
+	FakeDelay(0, hz)
+	FakeDelay(-5, 0)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("degenerate FakeDelay spun")
+	}
+}
+
+func TestHostSynthesizerMeasuresSection(t *testing.T) {
+	// 8 tasks x ~2ms: measured time must be positive and bounded by the
+	// serial time (plus generous scheduling slack).
+	tasks := make([]*tree.Node, 8)
+	perTask := clock.FromSeconds(0.002, clock.DefaultHz)
+	for i := range tasks {
+		tasks[i] = tree.NewTask("t", tree.NewU(perTask))
+	}
+	root := tree.NewRoot(tree.NewSec("s", tasks...))
+	s := &HostSynthesizer{Threads: 2, Sched: omprt.SchedDynamic1}
+	got := s.PredictTime(root)
+	serial := root.TotalLen()
+	if got <= 0 {
+		t.Fatal("no time measured")
+	}
+	if float64(got) > 3*float64(serial) {
+		t.Fatalf("measured %d far beyond serial %d", got, serial)
+	}
+	if sp := s.Speedup(root); sp <= 0 {
+		t.Fatalf("speedup %f", sp)
+	}
+}
+
+func TestHostSynthesizerLocksExclusive(t *testing.T) {
+	// Mutual exclusion through the emulated L nodes: run a section whose
+	// tasks all hold lock 1 and assert no overlap via a guarded counter.
+	var inCS atomic.Int32
+	var violated atomic.Bool
+	// Wrap FakeDelay-based emulation indirectly: use tiny L nodes and
+	// hook exclusivity by wrapping the lock map — here we just verify
+	// with a direct Pool + mutex scenario equivalent to runTask's path.
+	s := &HostSynthesizer{Threads: 4}
+	m := s.lock(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			if inCS.Add(1) > 1 {
+				violated.Store(true)
+			}
+			time.Sleep(100 * time.Microsecond)
+			inCS.Add(-1)
+			m.Unlock()
+		}()
+	}
+	wg.Wait()
+	if violated.Load() {
+		t.Fatal("critical sections overlapped")
+	}
+	// Same lock id returns the same mutex; different ids differ.
+	if s.lock(1) != m || s.lock(2) == m {
+		t.Fatal("lock identity broken")
+	}
+}
+
+func TestHostSynthesizerCilkRecursion(t *testing.T) {
+	inner := tree.NewSec("in",
+		tree.NewTask("a", tree.NewU(clock.FromSeconds(0.001, clock.DefaultHz))),
+		tree.NewTask("b", tree.NewU(clock.FromSeconds(0.001, clock.DefaultHz))),
+	)
+	root := tree.NewRoot(tree.NewSec("out",
+		tree.NewTask("t", inner),
+		tree.NewTask("u", tree.NewU(clock.FromSeconds(0.001, clock.DefaultHz))),
+	))
+	s := &HostSynthesizer{Threads: 2, Paradigm: synth.Cilk}
+	if got := s.PredictTime(root); got <= 0 {
+		t.Fatalf("recursive cilk measurement = %d", got)
+	}
+}
+
+func TestHostSynthesizerBurden(t *testing.T) {
+	sec := tree.NewSec("s", tree.NewTask("t", tree.NewU(clock.FromSeconds(0.004, clock.DefaultHz))))
+	sec.Burden = map[int]float64{1: 2.0}
+	root := tree.NewRoot(sec)
+	plain := &HostSynthesizer{Threads: 1}
+	loaded := &HostSynthesizer{Threads: 1, UseBurden: true}
+	a := plain.PredictTime(root)
+	b := loaded.PredictTime(root)
+	if float64(b) < 1.5*float64(a) {
+		t.Fatalf("burden not applied on host: %d vs %d", a, b)
+	}
+}
+
+func TestRunPipelineExecutesAllStagesInOrder(t *testing.T) {
+	const n = 20
+	tasks := make([]*tree.Node, n)
+	type key struct{ iter, stage int }
+	idx := map[*tree.Node]int{}
+	tasks2stage := map[*tree.Node]int{}
+	for i := range tasks {
+		s0 := tree.NewU(10)
+		s1 := tree.NewU(10)
+		s2 := tree.NewU(10)
+		tasks[i] = tree.NewTask("it", s0, s1, s2)
+		for s, seg := range []*tree.Node{s0, s1, s2} {
+			idx[seg] = i
+			tasks2stage[seg] = s
+		}
+	}
+	sec := tree.NewSec("pipe", tasks...)
+	sec.Pipeline = true
+
+	var mu sync.Mutex
+	seen := map[key]int{}
+	order := map[int][]int{} // stage -> iteration order
+	RunPipeline(sec, 3, func(seg *tree.Node) {
+		mu.Lock()
+		k := key{idx[seg], tasks2stage[seg]}
+		seen[k]++
+		order[k.stage] = append(order[k.stage], k.iter)
+		mu.Unlock()
+	})
+	if len(seen) != 3*n {
+		t.Fatalf("stage instances executed = %d, want %d", len(seen), 3*n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("stage %+v executed %d times", k, c)
+		}
+	}
+	// Each stage processes iterations in order.
+	for s, list := range order {
+		for i := 1; i < len(list); i++ {
+			if list[i] < list[i-1] {
+				t.Fatalf("stage %d out of order: %v", s, list)
+			}
+		}
+	}
+}
+
+func TestHostSynthesizerPipelineSection(t *testing.T) {
+	per := clock.FromSeconds(0.0005, clock.DefaultHz)
+	tasks := make([]*tree.Node, 8)
+	for i := range tasks {
+		tasks[i] = tree.NewTask("it", tree.NewU(per), tree.NewU(per))
+	}
+	sec := tree.NewSec("pipe", tasks...)
+	sec.Pipeline = true
+	root := tree.NewRoot(sec)
+	s := &HostSynthesizer{Threads: 2}
+	got := s.PredictTime(root)
+	if got <= 0 || float64(got) > 3*float64(root.TotalLen()) {
+		t.Fatalf("host pipeline measurement = %d vs serial %d", got, root.TotalLen())
+	}
+}
+
+func TestRunPipelineEmpty(t *testing.T) {
+	sec := tree.NewSec("pipe")
+	sec.Pipeline = true
+	RunPipeline(sec, 2, func(*tree.Node) { t.Fatal("exec ran on empty section") })
+}

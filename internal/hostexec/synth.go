@@ -1,0 +1,194 @@
+package hostexec
+
+import (
+	"sync"
+	"time"
+
+	"prophet/internal/clock"
+	"prophet/internal/omprt"
+	"prophet/internal/synth"
+	"prophet/internal/tree"
+)
+
+// HostSynthesizer runs the program-synthesis emulation on the *host*
+// machine with real goroutines, spin delays and sync.Mutex — the paper's
+// original deployment mode of §IV-E: measure the generated program where
+// the parallelized code will actually run.
+type HostSynthesizer struct {
+	// Threads is the worker count to emulate.
+	Threads int
+	// Paradigm selects OpenMP-style parallel-for or the Cilk-style pool.
+	Paradigm synth.Paradigm
+	// Sched is the OpenMP schedule.
+	Sched omprt.Sched
+	// UseBurden applies the memory model's burden factors.
+	UseBurden bool
+	// Hz is the nominal cycle rate for FakeDelay and the measurement
+	// clock (non-positive selects clock.DefaultHz).
+	Hz float64
+
+	mu    sync.Mutex
+	locks map[int]*sync.Mutex
+}
+
+func (s *HostSynthesizer) threads() int {
+	if s.Threads < 1 {
+		return 1
+	}
+	return s.Threads
+}
+
+func (s *HostSynthesizer) hz() float64 {
+	if s.Hz > 0 {
+		return s.Hz
+	}
+	return clock.DefaultHz
+}
+
+func (s *HostSynthesizer) lock(id int) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.locks == nil {
+		s.locks = make(map[int]*sync.Mutex)
+	}
+	m := s.locks[id]
+	if m == nil {
+		m = &sync.Mutex{}
+		s.locks[id] = m
+	}
+	return m
+}
+
+func (s *HostSynthesizer) scaled(l clock.Cycles, burden float64) clock.Cycles {
+	if burden == 1 {
+		return l
+	}
+	return clock.Cycles(float64(l)*burden + 0.5)
+}
+
+// PredictTime measures the synthetic program on the host and returns its
+// duration in nominal cycles.
+func (s *HostSynthesizer) PredictTime(root *tree.Node) clock.Cycles {
+	total := root.SerialOutsideSections()
+	for _, sec := range root.TopLevelSections() {
+		total += s.EmulateTopLevelParSec(sec) * clock.Cycles(sec.Reps())
+	}
+	return total
+}
+
+// Speedup returns profiled serial time / measured synthetic time.
+func (s *HostSynthesizer) Speedup(root *tree.Node) float64 {
+	pred := s.PredictTime(root)
+	if pred <= 0 {
+		return 1
+	}
+	return float64(root.TotalLen()) / float64(pred)
+}
+
+// EmulateTopLevelParSec generates and times one parallel section on the
+// host (Fig. 8's EmulTopLevelParSec with rdtsc replaced by the monotonic
+// clock).
+func (s *HostSynthesizer) EmulateTopLevelParSec(sec *tree.Node) clock.Cycles {
+	burden := 1.0
+	if s.UseBurden {
+		burden = sec.BurdenFor(s.threads())
+	}
+	start := time.Now()
+	switch {
+	case sec.Pipeline:
+		hz := s.hz()
+		RunPipeline(sec, s.threads(), func(seg *tree.Node) {
+			switch seg.Kind {
+			case tree.L:
+				m := s.lock(seg.LockID)
+				m.Lock()
+				FakeDelay(s.scaled(seg.Len, burden), hz)
+				m.Unlock()
+			case tree.W:
+				time.Sleep(time.Duration(float64(seg.Len) / hz * float64(time.Second)))
+			default:
+				FakeDelay(s.scaled(seg.Len, burden), hz)
+			}
+		})
+	case s.Paradigm == synth.Cilk:
+		pool := NewPool(s.threads())
+		pool.Run(func(c *Ctx) {
+			s.runSecCilk(c, sec, burden)
+		})
+	default:
+		s.runSecOMP(sec, burden)
+	}
+	elapsed := time.Since(start)
+	return clock.Cycles(elapsed.Seconds() * s.hz())
+}
+
+// taskAt resolves logical iteration i of a (possibly Repeat-compressed)
+// section.
+func taskAt(sec *tree.Node, i int) *tree.Node {
+	for _, c := range sec.Children {
+		if c.Kind != tree.Task {
+			continue
+		}
+		if i < c.Reps() {
+			return c
+		}
+		i -= c.Reps()
+	}
+	return nil
+}
+
+func logicalTasks(sec *tree.Node) int {
+	n := 0
+	for _, c := range sec.Children {
+		if c.Kind == tree.Task {
+			n += c.Reps()
+		}
+	}
+	return n
+}
+
+func (s *HostSynthesizer) runSecOMP(sec *tree.Node, burden float64) {
+	n := logicalTasks(sec)
+	ParallelFor(s.threads(), n, s.Sched, func(w, i int) {
+		s.runTask(nil, taskAt(sec, i), burden)
+	})
+}
+
+func (s *HostSynthesizer) runSecCilk(c *Ctx, sec *tree.Node, burden float64) {
+	n := logicalTasks(sec)
+	c.For(n, 1, func(cc *Ctx, i int) {
+		s.runTask(cc, taskAt(sec, i), burden)
+	})
+}
+
+// runTask walks a task's segments with FakeDelay computation and real
+// mutexes; nested sections recurse through the active paradigm.
+func (s *HostSynthesizer) runTask(cc *Ctx, task *tree.Node, burden float64) {
+	if task == nil {
+		return
+	}
+	hz := s.hz()
+	for _, seg := range task.Children {
+		for r := 0; r < seg.Reps(); r++ {
+			switch seg.Kind {
+			case tree.U:
+				FakeDelay(s.scaled(seg.Len, burden), hz)
+			case tree.W:
+				// Real sleep: the OS thread is released, as the
+				// annotated program's I/O would release it.
+				time.Sleep(time.Duration(float64(seg.Len) / hz * float64(time.Second)))
+			case tree.L:
+				m := s.lock(seg.LockID)
+				m.Lock()
+				FakeDelay(s.scaled(seg.Len, burden), hz)
+				m.Unlock()
+			case tree.Sec:
+				if cc != nil {
+					s.runSecCilk(cc, seg, burden)
+				} else {
+					s.runSecOMP(seg, burden)
+				}
+			}
+		}
+	}
+}

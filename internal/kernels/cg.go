@@ -1,0 +1,120 @@
+package kernels
+
+import "math"
+
+// SparseMatrix is a square CSR (compressed sparse row) matrix — the data
+// structure NPB CG streams through on every iteration, which is what makes
+// CG memory-bound (Fig. 12(g) of the paper).
+type SparseMatrix struct {
+	N      int
+	RowPtr []int
+	Cols   []int
+	Vals   []float64
+}
+
+// NewSparseSPD builds a deterministic sparse symmetric positive-definite
+// matrix of order n with roughly nnzPerRow off-diagonal entries per row
+// (random pattern, symmetric, diagonally dominant).
+func NewSparseSPD(n, nnzPerRow int, seed uint64) *SparseMatrix {
+	rng := newLCG(seed)
+	// Build symmetric pattern in a map-free way: collect (i, j) pairs
+	// with i < j, then mirror.
+	type entry struct {
+		j int
+		v float64
+	}
+	rows := make([][]entry, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow/2; k++ {
+			j := int(rng.next() % uint64(n))
+			if j == i {
+				continue
+			}
+			v := rng.Float64() - 0.5
+			rows[i] = append(rows[i], entry{j, v})
+			rows[j] = append(rows[j], entry{i, v})
+		}
+	}
+	m := &SparseMatrix{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		var diag float64
+		for _, e := range rows[i] {
+			diag += math.Abs(e.v)
+		}
+		// Off-diagonals first, then a dominant diagonal.
+		for _, e := range rows[i] {
+			m.Cols = append(m.Cols, e.j)
+			m.Vals = append(m.Vals, e.v)
+		}
+		m.Cols = append(m.Cols, i)
+		m.Vals = append(m.Vals, diag+1)
+		m.RowPtr[i+1] = len(m.Cols)
+	}
+	return m
+}
+
+// MulVec computes y = A·x. The row loop is NPB CG's main parallel loop.
+func (m *SparseMatrix) MulVec(x, y []float64) {
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Vals[k] * x[m.Cols[k]]
+		}
+		y[i] = s
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (m *SparseMatrix) NNZ() int { return len(m.Vals) }
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a·x.
+func Axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64
+}
+
+// CGSolve solves A·x = b with plain conjugate gradients, stopping at
+// maxIter or when ‖r‖ < tol. x must be zero-initialized (or a warm
+// start).
+func CGSolve(a *SparseMatrix, b, x []float64, maxIter int, tol float64) CGResult {
+	n := a.N
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	a.MulVec(x, ap)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - ap[i]
+		p[i] = r[i]
+	}
+	rr := Dot(r, r)
+	var it int
+	for it = 0; it < maxIter && math.Sqrt(rr) > tol; it++ {
+		a.MulVec(p, ap)
+		alpha := rr / Dot(p, ap)
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		rr2 := Dot(r, r)
+		beta := rr2 / rr
+		rr = rr2
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return CGResult{Iterations: it, Residual: math.Sqrt(rr)}
+}

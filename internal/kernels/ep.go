@@ -1,0 +1,77 @@
+package kernels
+
+import "math"
+
+// EP is the NPB "embarrassingly parallel" kernel: generate batches of
+// pseudo-random pairs, transform the accepted ones into Gaussian deviates
+// with the Marsaglia polar method, and histogram them by annulus. Batches
+// are fully independent — the perfectly scalable benchmark of the paper's
+// Fig. 12(e).
+type EP struct {
+	// Accepted counts how many pairs fell inside the unit disk.
+	Accepted int64
+	// Generated counts all pairs.
+	Generated int64
+	// SumX, SumY accumulate the Gaussian deviates.
+	SumX, SumY float64
+	// Counts histograms max(|X|,|Y|) into unit annuli, as NPB does.
+	Counts [10]int64
+}
+
+// EPBatch processes batch b of the given size and returns its partial
+// results (pure function of (seed, b, size) — safe to run in any order).
+func EPBatch(seed uint64, b int, size int) EP {
+	var out EP
+	rng := newLCG(seed + uint64(b)*0x9E3779B97F4A7C15)
+	for i := 0; i < size; i++ {
+		x := 2*rng.Float64() - 1
+		y := 2*rng.Float64() - 1
+		out.Generated++
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		out.Accepted++
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		out.SumX += gx
+		out.SumY += gy
+		a := math.Max(math.Abs(gx), math.Abs(gy))
+		bucket := int(a)
+		if bucket > 9 {
+			bucket = 9
+		}
+		out.Counts[bucket]++
+	}
+	return out
+}
+
+// Merge folds another partial result into e.
+func (e *EP) Merge(o EP) {
+	e.Accepted += o.Accepted
+	e.Generated += o.Generated
+	e.SumX += o.SumX
+	e.SumY += o.SumY
+	for i := range e.Counts {
+		e.Counts[i] += o.Counts[i]
+	}
+}
+
+// RunEP processes nBatches batches of batchSize pairs serially.
+func RunEP(seed uint64, nBatches, batchSize int) EP {
+	var total EP
+	for b := 0; b < nBatches; b++ {
+		p := EPBatch(seed, b, batchSize)
+		total.Merge(p)
+	}
+	return total
+}
+
+// AcceptanceRate returns accepted/generated; for uniform pairs on the
+// square it converges to π/4.
+func (e *EP) AcceptanceRate() float64 {
+	if e.Generated == 0 {
+		return 0
+	}
+	return float64(e.Accepted) / float64(e.Generated)
+}

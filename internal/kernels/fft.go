@@ -1,0 +1,196 @@
+package kernels
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo reports an FFT length that is not a power of two.
+var ErrNotPowerOfTwo = errors.New("kernels: FFT length must be a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x using the
+// recursive Cooley–Tukey split — the same recursion the OmpSCR FFT
+// benchmark parallelizes with two cilk_spawn-able half-size calls followed
+// by a combine loop (the paper's Fig. 1(b)).
+func FFT(x []complex128) error {
+	if !IsPowerOfTwo(len(x)) {
+		return ErrNotPowerOfTwo
+	}
+	fftRec(x, make([]complex128, len(x)))
+	return nil
+}
+
+func fftRec(x, scratch []complex128) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	half := n / 2
+	even := scratch[:half]
+	odd := scratch[half:]
+	for i := 0; i < half; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	copy(x[:half], even)
+	copy(x[half:], odd)
+	// The two recursive halves are the cilk_spawn / call pair of
+	// Fig. 1(b); serially they just recurse.
+	fftRec(x[:half], scratch[:half])
+	fftRec(x[half:], scratch[half:])
+	// Combine loop (the cilk_for of Fig. 1(b)).
+	for k := 0; k < half; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		a, b := x[k], w*x[k+half]
+		x[k], x[k+half] = a+b, a-b
+	}
+}
+
+// IFFT computes the inverse FFT of x in place.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+	return nil
+}
+
+// DFT is the naive O(n²) reference transform used to verify FFT.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*t)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Grid3D is a cubic complex grid for the NPB FT kernel.
+type Grid3D struct {
+	N    int
+	Data []complex128 // x + N*(y + N*z)
+}
+
+// NewGrid3D allocates an n³ grid.
+func NewGrid3D(n int) *Grid3D {
+	return &Grid3D{N: n, Data: make([]complex128, n*n*n)}
+}
+
+// At returns the element at (x, y, z).
+func (g *Grid3D) At(x, y, z int) complex128 { return g.Data[x+g.N*(y+g.N*z)] }
+
+// Set writes the element at (x, y, z).
+func (g *Grid3D) Set(x, y, z int, v complex128) { g.Data[x+g.N*(y+g.N*z)] = v }
+
+// FillDeterministic seeds the grid with reproducible pseudo-random values
+// (NPB FT initializes its grid from a sequential LCG stream the same way).
+func (g *Grid3D) FillDeterministic(seed uint64) {
+	rng := newLCG(seed)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+}
+
+// FFT3D transforms the grid along all three dimensions (inverse if inv).
+// Each dimension is a bundle of N² independent 1-D FFTs — the parallel
+// loops of NPB FT; the strided passes (y, z) are the memory-unfriendly
+// phases that make FT bandwidth-bound (the paper's Fig. 2).
+func (g *Grid3D) FFT3D(inv bool) error {
+	if !IsPowerOfTwo(g.N) {
+		return ErrNotPowerOfTwo
+	}
+	n := g.N
+	line := make([]complex128, n)
+	xform := FFT
+	if inv {
+		xform = IFFT
+	}
+	// Along x (unit stride).
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			base := n * (y + n*z)
+			copy(line, g.Data[base:base+n])
+			if err := xform(line); err != nil {
+				return err
+			}
+			copy(g.Data[base:base+n], line)
+		}
+	}
+	// Along y (stride n).
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				line[y] = g.At(x, y, z)
+			}
+			if err := xform(line); err != nil {
+				return err
+			}
+			for y := 0; y < n; y++ {
+				g.Set(x, y, z, line[y])
+			}
+		}
+	}
+	// Along z (stride n²).
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				line[z] = g.At(x, y, z)
+			}
+			if err := xform(line); err != nil {
+				return err
+			}
+			for z := 0; z < n; z++ {
+				g.Set(x, y, z, line[z])
+			}
+		}
+	}
+	return nil
+}
+
+// Evolve multiplies each mode by exp(-4π²·t·|k|²), the NPB FT time-step
+// operator in frequency space.
+func (g *Grid3D) Evolve(t float64) {
+	n := g.N
+	for z := 0; z < n; z++ {
+		kz := freqIndex(z, n)
+		for y := 0; y < n; y++ {
+			ky := freqIndex(y, n)
+			for x := 0; x < n; x++ {
+				kx := freqIndex(x, n)
+				k2 := float64(kx*kx + ky*ky + kz*kz)
+				g.Set(x, y, z, g.At(x, y, z)*complex(math.Exp(-4*math.Pi*math.Pi*t*k2/float64(n*n)), 0))
+			}
+		}
+	}
+}
+
+func freqIndex(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// Checksum returns the NPB-style complex checksum over a stride of modes.
+func (g *Grid3D) Checksum() complex128 {
+	var s complex128
+	total := len(g.Data)
+	for j := 1; j <= 1024; j++ {
+		s += g.Data[(j*j)%total]
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package kernels
+
+// IS is the NPB integer-sort kernel: rank N keys drawn from an
+// approximately Gaussian distribution (sum of four uniforms, as NPB's
+// key generation does) into B buckets via counting sort. The paper singles
+// IS out in §VI-B: profiling it produced the largest program tree (10 GB
+// before compression) because its ranking loop runs for many iterations
+// with near-identical lengths — exactly what RLE compression eats.
+type IS struct {
+	N       int
+	MaxKey  int
+	Keys    []int
+	Ranks   []int
+	buckets []int
+}
+
+// NewIS generates n keys in [0, maxKey) from the NPB-style pseudo-random
+// Gaussian approximation.
+func NewIS(n, maxKey int, seed uint64) *IS {
+	is := &IS{N: n, MaxKey: maxKey, Keys: make([]int, n)}
+	rng := newLCG(seed)
+	for i := range is.Keys {
+		// Average of 4 uniforms, scaled — NPB IS's key distribution.
+		v := (rng.Float64() + rng.Float64() + rng.Float64() + rng.Float64()) / 4
+		k := int(v * float64(maxKey))
+		if k >= maxKey {
+			k = maxKey - 1
+		}
+		is.Keys[i] = k
+	}
+	return is
+}
+
+// CountKeys builds the key histogram (the parallelizable counting loop:
+// each thread counts a key block into a private histogram, then merges).
+func (is *IS) CountKeys() {
+	is.buckets = make([]int, is.MaxKey)
+	for _, k := range is.Keys {
+		is.buckets[k]++
+	}
+}
+
+// CountBlock counts keys[lo:hi] into a private histogram (the per-thread
+// body of the parallel version).
+func (is *IS) CountBlock(lo, hi int) []int {
+	h := make([]int, is.MaxKey)
+	for _, k := range is.Keys[lo:hi] {
+		h[k]++
+	}
+	return h
+}
+
+// MergeCounts folds a private histogram into the shared one.
+func (is *IS) MergeCounts(h []int) {
+	if is.buckets == nil {
+		is.buckets = make([]int, is.MaxKey)
+	}
+	for i, v := range h {
+		is.buckets[i] += v
+	}
+}
+
+// ComputeRanks turns the histogram into key ranks (exclusive prefix sum,
+// then per-key rank assignment).
+func (is *IS) ComputeRanks() {
+	sum := 0
+	starts := make([]int, is.MaxKey)
+	for k := 0; k < is.MaxKey; k++ {
+		starts[k] = sum
+		sum += is.buckets[k]
+	}
+	is.Ranks = make([]int, is.N)
+	next := starts
+	for i, k := range is.Keys {
+		is.Ranks[i] = next[k]
+		next[k]++
+	}
+}
+
+// Run performs the full ranking (count + rank), as one NPB IS iteration.
+func (is *IS) Run() {
+	is.CountKeys()
+	is.ComputeRanks()
+}
+
+// Sorted materializes the keys in rank order (for verification).
+func (is *IS) Sorted() []int {
+	out := make([]int, is.N)
+	for i, r := range is.Ranks {
+		out[r] = is.Keys[i]
+	}
+	return out
+}
+
+// VerifyRanks reports whether the ranks describe a stable non-decreasing
+// ordering of the keys.
+func (is *IS) VerifyRanks() bool {
+	if len(is.Ranks) != is.N {
+		return false
+	}
+	sorted := is.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			return false
+		}
+	}
+	// Ranks must be a permutation.
+	seen := make([]bool, is.N)
+	for _, r := range is.Ranks {
+		if r < 0 || r >= is.N || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}

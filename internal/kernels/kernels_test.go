@@ -1,0 +1,508 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// --- MD ---
+
+func TestMDNewtonThirdLaw(t *testing.T) {
+	m := NewMD(64)
+	m.ComputeForces()
+	f := m.TotalForce()
+	if math.Sqrt(f.Norm2()) > 1e-9 {
+		t.Fatalf("net force = %+v, want ~0 (Newton's third law)", f)
+	}
+}
+
+func TestMDDeterministic(t *testing.T) {
+	a, b := NewMD(32), NewMD(32)
+	for s := 0; s < 3; s++ {
+		a.Step(1e-3)
+		b.Step(1e-3)
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatalf("positions diverged at particle %d", i)
+		}
+	}
+}
+
+func TestMDParticlesMove(t *testing.T) {
+	m := NewMD(27)
+	before := make([]Vec3, m.N)
+	copy(before, m.Pos)
+	for s := 0; s < 5; s++ {
+		m.Step(1e-3)
+	}
+	moved := 0
+	for i := range m.Pos {
+		if m.Pos[i] != before[i] {
+			moved++
+		}
+	}
+	if moved < m.N/2 {
+		t.Fatalf("only %d/%d particles moved", moved, m.N)
+	}
+	if m.KineticEnergy() <= 0 {
+		t.Fatal("no kinetic energy after repulsive interaction")
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	v := Vec3{1, 2, 3}.Add(Vec3{4, 5, 6}).Sub(Vec3{1, 1, 1}).Scale(2)
+	if v != (Vec3{8, 12, 16}) {
+		t.Fatalf("vector ops = %+v", v)
+	}
+	if (Vec3{3, 4, 0}).Norm2() != 25 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+// --- LU ---
+
+func TestLUReconstruct(t *testing.T) {
+	a := NewDiagonallyDominant(40, 7)
+	orig := a.Clone()
+	if err := LUDecompose(a); err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	back := LUReconstruct(a)
+	if d := MaxAbsDiff(orig, back); d > 1e-9 {
+		t.Fatalf("L*U differs from A by %g", d)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	n := 30
+	a := NewDiagonallyDominant(n, 11)
+	// Manufacture b = A·ones.
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j)
+		}
+	}
+	if err := LUDecompose(a); err != nil {
+		t.Fatal(err)
+	}
+	x := LUSolve(a, b)
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(3) // all zeros
+	if err := LUDecompose(a); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+// Property: LU round-trips for any seed.
+func TestLURoundTripProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		a := NewDiagonallyDominant(12, uint64(seed)+1)
+		orig := a.Clone()
+		if err := LUDecompose(a); err != nil {
+			return false
+		}
+		return MaxAbsDiff(orig, LUReconstruct(a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- FFT ---
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := newLCG(3)
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	want := DFT(x)
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, DFT = %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := newLCG(5)
+	x := make([]complex128, 256)
+	orig := make([]complex128, len(x))
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip broke at %d", i)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Fatal("length 12 accepted")
+	}
+	if !IsPowerOfTwo(1024) || IsPowerOfTwo(0) || IsPowerOfTwo(100) {
+		t.Fatal("IsPowerOfTwo wrong")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 32)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFFT3DRoundTrip(t *testing.T) {
+	g := NewGrid3D(8)
+	g.FillDeterministic(9)
+	orig := make([]complex128, len(g.Data))
+	copy(orig, g.Data)
+	if err := g.FFT3D(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FFT3D(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3D round trip broke at %d", i)
+		}
+	}
+}
+
+func TestFFT3DParsevalAndEvolve(t *testing.T) {
+	g := NewGrid3D(8)
+	g.FillDeterministic(13)
+	var before float64
+	for _, v := range g.Data {
+		before += cmplx.Abs(v) * cmplx.Abs(v)
+	}
+	if err := g.FFT3D(false); err != nil {
+		t.Fatal(err)
+	}
+	var after float64
+	for _, v := range g.Data {
+		after += cmplx.Abs(v) * cmplx.Abs(v)
+	}
+	n3 := float64(g.N * g.N * g.N)
+	if math.Abs(after/n3-before)/before > 1e-9 {
+		t.Fatalf("Parseval violated: %g vs %g", after/n3, before)
+	}
+	// Evolve damps high frequencies: energy must not grow.
+	g.Evolve(1e-4)
+	var damped float64
+	for _, v := range g.Data {
+		damped += cmplx.Abs(v) * cmplx.Abs(v)
+	}
+	if damped > after {
+		t.Fatalf("Evolve increased energy: %g -> %g", after, damped)
+	}
+	if g.Checksum() == 0 {
+		t.Fatal("checksum degenerate")
+	}
+}
+
+// --- QSort ---
+
+func TestQSortSorts(t *testing.T) {
+	xs := RandomSlice(10_000, 21)
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	QSort(xs)
+	if !IsSorted(xs) {
+		t.Fatal("not sorted")
+	}
+	sum2 := 0.0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if math.Abs(sum-sum2) > 1e-9 {
+		t.Fatal("elements changed")
+	}
+}
+
+func TestQSortEdgeCases(t *testing.T) {
+	for _, xs := range [][]float64{
+		{},
+		{1},
+		{2, 1},
+		{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		{5, 4, 3, 2, 1, 0, -1, -2, -3, -4, -5, -6, -7, -8, -9, -10, -11, -12},
+	} {
+		cp := append([]float64(nil), xs...)
+		QSort(cp)
+		if !IsSorted(cp) {
+			t.Fatalf("failed on %v", xs)
+		}
+	}
+}
+
+func TestQSortProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		cp := append([]float64(nil), xs...)
+		QSort(cp)
+		if !IsSorted(cp) {
+			return false
+		}
+		return len(cp) == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQSortRecursionProfile(t *testing.T) {
+	xs := RandomSlice(4096, 33)
+	sizes := QSortRecursionProfile(xs)
+	if len(sizes) == 0 {
+		t.Fatal("no recursion recorded")
+	}
+	if sizes[0] != 4096 {
+		t.Fatalf("first partition size = %d, want 4096", sizes[0])
+	}
+	for _, s := range sizes {
+		if s <= QSortCutoff {
+			t.Fatalf("recorded partition %d below cutoff", s)
+		}
+	}
+	// Profiling must not disturb the input.
+	if IsSorted(xs) {
+		t.Fatal("profile sorted the input (should work on a copy)")
+	}
+}
+
+// --- EP ---
+
+func TestEPAcceptanceRate(t *testing.T) {
+	e := RunEP(42, 32, 4096)
+	got := e.AcceptanceRate()
+	want := math.Pi / 4
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("acceptance rate = %g, want ~%g", got, want)
+	}
+}
+
+func TestEPGaussianMoments(t *testing.T) {
+	e := RunEP(7, 64, 4096)
+	meanX := e.SumX / float64(e.Accepted)
+	meanY := e.SumY / float64(e.Accepted)
+	if math.Abs(meanX) > 0.02 || math.Abs(meanY) > 0.02 {
+		t.Fatalf("Gaussian means = (%g, %g), want ~0", meanX, meanY)
+	}
+	// Nearly all samples land within 4 sigma.
+	tail := e.Counts[4] + e.Counts[5] + e.Counts[6] + e.Counts[7] + e.Counts[8] + e.Counts[9]
+	if float64(tail)/float64(e.Accepted) > 0.001 {
+		t.Fatalf("heavy tail: %d of %d beyond 4", tail, e.Accepted)
+	}
+}
+
+func TestEPBatchesOrderIndependent(t *testing.T) {
+	// Merge in reverse order must give identical totals (the property
+	// that makes EP embarrassingly parallel).
+	var fwd, rev EP
+	const nb = 16
+	for b := 0; b < nb; b++ {
+		p := EPBatch(99, b, 1000)
+		fwd.Merge(p)
+	}
+	for b := nb - 1; b >= 0; b-- {
+		p := EPBatch(99, b, 1000)
+		rev.Merge(p)
+	}
+	if fwd.Accepted != rev.Accepted || fwd.Generated != rev.Generated || fwd.Counts != rev.Counts {
+		t.Fatal("batch merge counts not order independent")
+	}
+	// Floating-point sums may differ only by rounding across orders.
+	if math.Abs(fwd.SumX-rev.SumX) > 1e-9 || math.Abs(fwd.SumY-rev.SumY) > 1e-9 {
+		t.Fatal("batch merge sums diverged beyond rounding")
+	}
+}
+
+// --- MG ---
+
+func TestMGConvergesToManufacturedSolution(t *testing.T) {
+	m := NewMG(17)
+	initial := m.ResidualNorm()
+	for i := 0; i < 8; i++ {
+		m.VCycle()
+	}
+	final := m.ResidualNorm()
+	if final > initial/100 {
+		t.Fatalf("residual %g -> %g; V-cycles not converging", initial, final)
+	}
+	if err := m.SolutionError(); err > 0.05 {
+		t.Fatalf("solution error %g vs manufactured solution", err)
+	}
+}
+
+func TestMGResidualDropsEveryCycle(t *testing.T) {
+	m := NewMG(17)
+	prev := m.ResidualNorm()
+	for i := 0; i < 4; i++ {
+		m.VCycle()
+		cur := m.ResidualNorm()
+		if cur >= prev {
+			t.Fatalf("cycle %d: residual %g did not drop from %g", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// --- CG ---
+
+func TestCGSolvesSPDSystem(t *testing.T) {
+	n := 500
+	a := NewSparseSPD(n, 8, 17)
+	// b = A·ones.
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	a.MulVec(ones, b)
+	x := make([]float64, n)
+	res := CGSolve(a, b, x, 200, 1e-10)
+	if res.Residual > 1e-8 {
+		t.Fatalf("CG residual %g after %d iterations", res.Residual, res.Iterations)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestCGIterationCountReasonable(t *testing.T) {
+	n := 300
+	a := NewSparseSPD(n, 6, 23)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i % 7)
+	}
+	x := make([]float64, n)
+	res := CGSolve(a, b, x, n, 1e-9)
+	if res.Iterations == 0 || res.Iterations >= n {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestSparseMatrixSymmetric(t *testing.T) {
+	a := NewSparseSPD(100, 6, 5)
+	// Check xᵀAy == yᵀAx for random x, y (symmetry witness).
+	x := RandomSlice(100, 1)
+	y := RandomSlice(100, 2)
+	ax := make([]float64, 100)
+	ay := make([]float64, 100)
+	a.MulVec(x, ax)
+	a.MulVec(y, ay)
+	if math.Abs(Dot(y, ax)-Dot(x, ay)) > 1e-9 {
+		t.Fatal("matrix not symmetric")
+	}
+	if a.NNZ() <= 100 {
+		t.Fatalf("suspiciously sparse: %d", a.NNZ())
+	}
+}
+
+func TestDotAxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Fatalf("Axpy wrong: %v", y)
+	}
+}
+
+// --- IS ---
+
+func TestISRanksSortCorrectly(t *testing.T) {
+	is := NewIS(50_000, 1<<11, 77)
+	is.Run()
+	if !is.VerifyRanks() {
+		t.Fatal("ranks do not describe a sorted permutation")
+	}
+}
+
+func TestISKeyDistributionGaussianish(t *testing.T) {
+	// Averaging four uniforms concentrates keys near the middle: the
+	// central half of the key space must hold well over half the keys.
+	is := NewIS(100_000, 1<<10, 3)
+	is.CountKeys()
+	mid := 0
+	for k := 256; k < 768; k++ {
+		mid += is.buckets[k]
+	}
+	if frac := float64(mid) / float64(is.N); frac < 0.8 {
+		t.Fatalf("central-half key fraction = %.2f, want >= 0.8 (NPB-style distribution)", frac)
+	}
+}
+
+func TestISBlockCountingMatchesSerial(t *testing.T) {
+	// The parallel decomposition (private histograms + merge) must give
+	// the same buckets as the serial count.
+	a := NewIS(10_000, 512, 9)
+	b := NewIS(10_000, 512, 9)
+	a.CountKeys()
+	const blocks = 7
+	for i := 0; i < blocks; i++ {
+		lo := i * b.N / blocks
+		hi := (i + 1) * b.N / blocks
+		b.MergeCounts(b.CountBlock(lo, hi))
+	}
+	for k := 0; k < a.MaxKey; k++ {
+		if a.buckets[k] != b.buckets[k] {
+			t.Fatalf("bucket %d: serial %d vs merged %d", k, a.buckets[k], b.buckets[k])
+		}
+	}
+	a.ComputeRanks()
+	b.ComputeRanks()
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			t.Fatalf("rank %d differs", i)
+		}
+	}
+}
+
+func TestISDeterministic(t *testing.T) {
+	a := NewIS(1_000, 128, 5)
+	b := NewIS(1_000, 128, 5)
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatal("key generation not deterministic")
+		}
+	}
+}

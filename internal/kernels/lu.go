@@ -1,0 +1,144 @@
+package kernels
+
+import (
+	"errors"
+	"math"
+)
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewMatrix allocates an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// NewDiagonallyDominant builds a deterministic, well-conditioned test
+// matrix (diagonally dominant, so LU without pivoting is stable).
+func NewDiagonallyDominant(n int, seed uint64) *Matrix {
+	m := NewMatrix(n)
+	rng := newLCG(seed)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.Float64() - 0.5
+			m.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		m.Set(i, i, rowSum+1)
+	}
+	return m
+}
+
+// ErrSingular reports a zero pivot during factorization.
+var ErrSingular = errors.New("kernels: singular pivot in LU")
+
+// LUDecompose factors A in place into L (unit lower, below the diagonal)
+// and U (upper, on and above the diagonal) without pivoting — the exact
+// loop nest of the paper's Fig. 1(a): for each pivot column k, the
+// *inner* for-i loop over rows k+1..n-1 is the parallel loop, and its
+// per-iteration work (the for-j update) shrinks as k grows, which is the
+// workload-imbalance case the paper highlights.
+func LUDecompose(a *Matrix) error {
+	n := a.N
+	for k := 0; k < n-1; k++ {
+		pivot := a.At(k, k)
+		if pivot == 0 {
+			return ErrSingular
+		}
+		for i := k + 1; i < n; i++ {
+			l := a.At(i, k) / pivot
+			a.Set(i, k, l)
+			for j := k + 1; j < n; j++ {
+				a.Set(i, j, a.At(i, j)-l*a.At(k, j))
+			}
+		}
+	}
+	if a.At(n-1, n-1) == 0 {
+		return ErrSingular
+	}
+	return nil
+}
+
+// LUReconstruct multiplies the packed L and U factors back into a full
+// matrix (for verification).
+func LUReconstruct(lu *Matrix) *Matrix {
+	n := lu.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			// (L·U)ij = Σ_k L[i,k]·U[k,j], L unit-diagonal.
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				var l float64
+				if k == i {
+					l = 1
+				} else {
+					l = lu.At(i, k)
+				}
+				s += l * lu.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max |a-b| elementwise.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	var worst float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// LUSolve solves A·x = b given the packed in-place factorization.
+func LUSolve(lu *Matrix, b []float64) []float64 {
+	n := lu.N
+	y := make([]float64, n)
+	// Forward substitution with unit L.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= lu.At(i, j) * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution with U.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu.At(i, j) * x[j]
+		}
+		x[i] = s / lu.At(i, i)
+	}
+	return x
+}

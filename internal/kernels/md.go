@@ -1,0 +1,144 @@
+// Package kernels contains real Go implementations of the eight benchmarks
+// the paper evaluates (§VII): MD, LU and FFT and QSort from OmpSCR, and
+// EP, FT, MG and CG from the NAS Parallel Benchmarks. The kernels are the
+// ground the annotated workload programs (internal/workloads) stand on:
+// their loop structures define the task shapes and trip counts, and their
+// array footprints (run through the LLC simulator in internal/mem) define
+// the per-task miss counts. Each kernel is verified for numerical
+// correctness in its tests, so the workload cost models derive from code
+// that actually computes the right answer.
+package kernels
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm2 returns |v|².
+func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// MD is the OmpSCR molecular-dynamics kernel: velocity-Verlet integration
+// of N particles interacting through a soft pairwise potential in a cubic
+// box. The OmpSCR original parallelizes the force loop (one iteration per
+// particle, each doing O(N) work — a balanced parallel loop).
+type MD struct {
+	N    int
+	Pos  []Vec3
+	Vel  []Vec3
+	F    []Vec3
+	Box  float64
+	Mass float64
+}
+
+// NewMD builds a deterministic particle system of n particles on a jittered
+// lattice.
+func NewMD(n int) *MD {
+	m := &MD{N: n, Box: 10, Mass: 1}
+	m.Pos = make([]Vec3, n)
+	m.Vel = make([]Vec3, n)
+	m.F = make([]Vec3, n)
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	spacing := m.Box / float64(side)
+	rng := newLCG(20260704)
+	for i := 0; i < n; i++ {
+		x := i % side
+		y := (i / side) % side
+		z := i / (side * side)
+		jitter := func() float64 { return (rng.Float64() - 0.5) * 0.1 * spacing }
+		m.Pos[i] = Vec3{
+			float64(x)*spacing + jitter(),
+			float64(y)*spacing + jitter(),
+			float64(z)*spacing + jitter(),
+		}
+	}
+	return m
+}
+
+// pairForce returns the force on particle i due to j: a soft 1/r⁴ repulsion
+// with smooth cutoff (keeps the system numerically tame at any spacing).
+func (m *MD) pairForce(i, j int) Vec3 {
+	d := m.Pos[i].Sub(m.Pos[j])
+	r2 := d.Norm2() + 1e-3
+	inv := 1 / (r2 * r2)
+	return d.Scale(inv)
+}
+
+// ForceOn computes the total force on particle i (the body of the OmpSCR
+// parallel loop).
+func (m *MD) ForceOn(i int) Vec3 {
+	var f Vec3
+	for j := 0; j < m.N; j++ {
+		if j == i {
+			continue
+		}
+		f = f.Add(m.pairForce(i, j))
+	}
+	return f
+}
+
+// ComputeForces fills m.F (the parallelizable O(N²) phase).
+func (m *MD) ComputeForces() {
+	for i := 0; i < m.N; i++ {
+		m.F[i] = m.ForceOn(i)
+	}
+}
+
+// Update advances positions and velocities by dt (the serial phase).
+func (m *MD) Update(dt float64) {
+	for i := 0; i < m.N; i++ {
+		a := m.F[i].Scale(1 / m.Mass)
+		m.Vel[i] = m.Vel[i].Add(a.Scale(dt))
+		m.Pos[i] = m.Pos[i].Add(m.Vel[i].Scale(dt))
+	}
+}
+
+// Step performs one force+update step.
+func (m *MD) Step(dt float64) {
+	m.ComputeForces()
+	m.Update(dt)
+}
+
+// TotalForce returns the vector sum of all forces; by Newton's third law it
+// must be ~0, which the tests verify.
+func (m *MD) TotalForce() Vec3 {
+	var s Vec3
+	for _, f := range m.F {
+		s = s.Add(f)
+	}
+	return s
+}
+
+// KineticEnergy returns ½·m·Σ|v|².
+func (m *MD) KineticEnergy() float64 {
+	var e float64
+	for _, v := range m.Vel {
+		e += v.Norm2()
+	}
+	return 0.5 * m.Mass * e
+}
+
+// lcg is a tiny deterministic linear congruential generator (also the core
+// of the NPB EP kernel, see ep.go).
+type lcg struct{ state uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{state: seed} }
+
+func (r *lcg) next() uint64 {
+	// Knuth's MMIX multiplier.
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *lcg) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

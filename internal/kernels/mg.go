@@ -1,0 +1,196 @@
+package kernels
+
+import "math"
+
+// MG is a 3-D multigrid V-cycle solver for the Poisson equation
+// ∇²u = f with homogeneous Dirichlet boundaries on the unit cube — the
+// structure of NPB MG: smoothing sweeps, residual computation, restriction
+// to a coarser grid, recursive solve, prolongation and correction. Each
+// sweep is a parallelizable triple loop over a grid level; the finest
+// levels are bandwidth-bound, which is why MG saturates in the paper's
+// Fig. 12(h).
+type MG struct {
+	// N is the finest grid size (interior points per dimension + 2 for
+	// boundaries); must be 2^k + 1.
+	N int
+	U []float64 // solution, (N)³ row-major
+	F []float64 // right-hand side
+}
+
+// NewMG builds a solver with a smooth manufactured right-hand side.
+func NewMG(n int) *MG {
+	m := &MG{N: n, U: make([]float64, n*n*n), F: make([]float64, n*n*n)}
+	h := 1.0 / float64(n-1)
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				px, py, pz := float64(x)*h, float64(y)*h, float64(z)*h
+				// f for u* = sin(πx)sin(πy)sin(πz):
+				// ∇²u* = -3π²·u*.
+				m.F[m.idx(x, y, z)] = -3 * math.Pi * math.Pi *
+					math.Sin(math.Pi*px) * math.Sin(math.Pi*py) * math.Sin(math.Pi*pz)
+			}
+		}
+	}
+	return m
+}
+
+func (m *MG) idx(x, y, z int) int { return x + m.N*(y+m.N*z) }
+
+func gridIdx(n, x, y, z int) int { return x + n*(y+n*z) }
+
+// smooth performs sweeps of damped Jacobi on (u, f) at grid size n with
+// spacing h.
+func smooth(u, f []float64, n int, h float64, sweeps int) {
+	tmp := make([]float64, len(u))
+	h2 := h * h
+	const omega = 0.8
+	for s := 0; s < sweeps; s++ {
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					i := gridIdx(n, x, y, z)
+					nb := u[gridIdx(n, x-1, y, z)] + u[gridIdx(n, x+1, y, z)] +
+						u[gridIdx(n, x, y-1, z)] + u[gridIdx(n, x, y+1, z)] +
+						u[gridIdx(n, x, y, z-1)] + u[gridIdx(n, x, y, z+1)]
+					jac := (nb - h2*f[i]) / 6
+					tmp[i] = u[i] + omega*(jac-u[i])
+				}
+			}
+		}
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					i := gridIdx(n, x, y, z)
+					u[i] = tmp[i]
+				}
+			}
+		}
+	}
+}
+
+// residual computes r = f − ∇²u at grid size n.
+func residual(u, f []float64, n int, h float64) []float64 {
+	r := make([]float64, len(u))
+	h2 := h * h
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				i := gridIdx(n, x, y, z)
+				lap := (u[gridIdx(n, x-1, y, z)] + u[gridIdx(n, x+1, y, z)] +
+					u[gridIdx(n, x, y-1, z)] + u[gridIdx(n, x, y+1, z)] +
+					u[gridIdx(n, x, y, z-1)] + u[gridIdx(n, x, y, z+1)] -
+					6*u[i]) / h2
+				r[i] = f[i] - lap
+			}
+		}
+	}
+	return r
+}
+
+// restrict3D injects the residual onto the next coarser grid (size
+// (n+1)/2).
+func restrict3D(r []float64, n int) []float64 {
+	nc := (n + 1) / 2
+	out := make([]float64, nc*nc*nc)
+	for z := 1; z < nc-1; z++ {
+		for y := 1; y < nc-1; y++ {
+			for x := 1; x < nc-1; x++ {
+				out[gridIdx(nc, x, y, z)] = r[gridIdx(n, 2*x, 2*y, 2*z)]
+			}
+		}
+	}
+	return out
+}
+
+// prolongAdd interpolates the coarse correction onto the fine grid and
+// adds it to u.
+func prolongAdd(u, c []float64, n int) {
+	nc := (n + 1) / 2
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				// Trilinear interpolation from coarse nodes.
+				cx, cy, cz := x/2, y/2, z/2
+				fx, fy, fz := float64(x%2)/2, float64(y%2)/2, float64(z%2)/2
+				var v float64
+				for dz := 0; dz <= 1; dz++ {
+					for dy := 0; dy <= 1; dy++ {
+						for dx := 0; dx <= 1; dx++ {
+							wx := 1 - fx
+							if dx == 1 {
+								wx = fx
+							}
+							wy := 1 - fy
+							if dy == 1 {
+								wy = fy
+							}
+							wz := 1 - fz
+							if dz == 1 {
+								wz = fz
+							}
+							xi, yi, zi := cx+dx, cy+dy, cz+dz
+							if xi >= nc || yi >= nc || zi >= nc {
+								continue
+							}
+							v += wx * wy * wz * c[gridIdx(nc, xi, yi, zi)]
+						}
+					}
+				}
+				u[gridIdx(n, x, y, z)] += v
+			}
+		}
+	}
+}
+
+// vcycle runs one V-cycle on (u, f) at size n, spacing h.
+func vcycle(u, f []float64, n int, h float64) {
+	if n <= 3 {
+		smooth(u, f, n, h, 30)
+		return
+	}
+	smooth(u, f, n, h, 3)
+	r := residual(u, f, n, h)
+	fc := restrict3D(r, n)
+	nc := (n + 1) / 2
+	uc := make([]float64, nc*nc*nc)
+	vcycle(uc, fc, nc, 2*h)
+	prolongAdd(u, uc, n)
+	smooth(u, f, n, h, 3)
+}
+
+// VCycle runs one multigrid V-cycle on the solver's fine grid.
+func (m *MG) VCycle() {
+	vcycle(m.U, m.F, m.N, 1.0/float64(m.N-1))
+}
+
+// ResidualNorm returns the RMS residual on the fine grid.
+func (m *MG) ResidualNorm() float64 {
+	r := residual(m.U, m.F, m.N, 1.0/float64(m.N-1))
+	var s float64
+	for _, v := range r {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(r)))
+}
+
+// SolutionError returns the max error against the manufactured solution
+// sin(πx)sin(πy)sin(πz).
+func (m *MG) SolutionError() float64 {
+	h := 1.0 / float64(m.N-1)
+	var worst float64
+	for z := 0; z < m.N; z++ {
+		for y := 0; y < m.N; y++ {
+			for x := 0; x < m.N; x++ {
+				exact := math.Sin(math.Pi*float64(x)*h) *
+					math.Sin(math.Pi*float64(y)*h) *
+					math.Sin(math.Pi*float64(z)*h)
+				d := math.Abs(m.U[m.idx(x, y, z)] - exact)
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}

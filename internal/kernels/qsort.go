@@ -1,0 +1,116 @@
+package kernels
+
+// QSort sorts xs in place with the plain recursive quicksort the OmpSCR
+// benchmark parallelizes: each partition's two halves are independent
+// (cilk_spawn-able) recursive calls. The pivot is median-of-three, and
+// small partitions fall back to insertion sort, as the benchmark does.
+func QSort(xs []float64) {
+	qsortRec(xs, 0)
+}
+
+// QSortCutoff is the partition size below which insertion sort takes over
+// (also the sequential grain the parallel version uses).
+const QSortCutoff = 16
+
+func qsortRec(xs []float64, depth int) {
+	for len(xs) > QSortCutoff {
+		p := partition(xs)
+		// Recurse into the smaller half, loop on the larger: bounds
+		// stack depth at O(log n).
+		if p < len(xs)-p-1 {
+			qsortRec(xs[:p], depth+1)
+			xs = xs[p+1:]
+		} else {
+			qsortRec(xs[p+1:], depth+1)
+			xs = xs[:p]
+		}
+	}
+	insertion(xs)
+}
+
+// Partition rearranges xs around a median-of-three pivot and returns the
+// pivot's final index. It is exported so the QSort workload model
+// (internal/workloads) can replay the real recursion tree.
+func Partition(xs []float64) int { return partition(xs) }
+
+// partition rearranges xs around a median-of-three pivot and returns the
+// pivot's final index.
+func partition(xs []float64) int {
+	n := len(xs)
+	mid := n / 2
+	// Median of three into xs[n-1].
+	if xs[0] > xs[mid] {
+		xs[0], xs[mid] = xs[mid], xs[0]
+	}
+	if xs[0] > xs[n-1] {
+		xs[0], xs[n-1] = xs[n-1], xs[0]
+	}
+	if xs[mid] > xs[n-1] {
+		xs[mid], xs[n-1] = xs[n-1], xs[mid]
+	}
+	xs[mid], xs[n-2] = xs[n-2], xs[mid]
+	pivot := xs[n-2]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[n-2] = xs[n-2], xs[i]
+	return i
+}
+
+func insertion(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// RandomSlice returns n deterministic pseudo-random values in [0, 1).
+func RandomSlice(n int, seed uint64) []float64 {
+	rng := newLCG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// IsSorted reports whether xs is non-decreasing.
+func IsSorted(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// QSortRecursionProfile walks the same recursion as QSort without sorting
+// and reports the partition sizes at each spawn point, ordered
+// depth-first. The workload model uses it to build the recursive task
+// tree with realistic (data-dependent) imbalance.
+func QSortRecursionProfile(xs []float64) []int {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	var sizes []int
+	var rec func(s []float64)
+	rec = func(s []float64) {
+		if len(s) <= QSortCutoff {
+			return
+		}
+		p := partition(s)
+		sizes = append(sizes, len(s))
+		rec(s[:p])
+		rec(s[p+1:])
+	}
+	rec(cp)
+	return sizes
+}

@@ -1,0 +1,96 @@
+package memmodel
+
+import (
+	"fmt"
+
+	"prophet/internal/counters"
+)
+
+// Explanation exposes every intermediate quantity of the burden-factor
+// computation (Eq. 1–5), so users can see *why* a section received its
+// β_t — the transparency a first-order model owes its users.
+type Explanation struct {
+	Threads int
+	// Inputs (from the section's counters).
+	N   int64   // instructions
+	T   int64   // cycles
+	D   int64   // LLC misses
+	MPI float64 // D/N
+	// DeltaMBps is the serial DRAM traffic δ.
+	DeltaMBps float64
+	// Gate is non-empty when an assumption gate short-circuited the
+	// model (β = 1), naming the §V assumption that fired.
+	Gate string
+	// Model terms (zero when gated).
+	Omega      float64 // ω = Φ(δ): per-miss stall of the serial run
+	CPICache   float64 // CPI$ from Eq. (1)
+	DeltaT     float64 // δ_t = Ψ(δ): per-thread traffic under contention
+	OmegaT     float64 // ω_t = Φ(δ_t)
+	Burden     float64 // β_t from Eq. (3)
+	MemoryTime float64 // fraction of T attributed to memory (ω·D/T)
+}
+
+// Explain computes the burden factor for (s, t) and returns every
+// intermediate. Explain(s, t).Burden always equals Burden(s, t).
+func (m *Model) Explain(s counters.Sample, t int) Explanation {
+	e := Explanation{
+		Threads:   t,
+		N:         s.Instructions,
+		T:         int64(s.Cycles),
+		D:         s.LLCMisses,
+		MPI:       s.MPI(),
+		DeltaMBps: s.TrafficMBps(m.Hz),
+		Burden:    1,
+	}
+	switch {
+	case t <= 1:
+		e.Gate = "single thread"
+		return e
+	case s.Instructions == 0 || s.Cycles == 0:
+		e.Gate = "no profile data"
+		return e
+	case e.MPI < m.MinMPI:
+		e.Gate = fmt.Sprintf("Assumption 5: MPI %.5f below %.5f", e.MPI, m.MinMPI)
+		return e
+	case e.DeltaMBps < m.MinTrafficMBps:
+		e.Gate = fmt.Sprintf("traffic %.0f MB/s below Eq.(6/7) floor %.0f", e.DeltaMBps, m.MinTrafficMBps)
+		return e
+	}
+	psi, ok := m.psiFor(t)
+	if !ok {
+		e.Gate = "no Psi calibration"
+		return e
+	}
+	e.Omega = m.Omega(e.DeltaMBps)
+	e.DeltaT = psi.Eval(e.DeltaMBps)
+	e.OmegaT = m.Omega(e.DeltaT)
+	if e.OmegaT < e.Omega {
+		e.OmegaT = e.Omega
+	}
+	n := float64(s.Instructions)
+	d := float64(s.LLCMisses)
+	e.CPICache = (float64(s.Cycles) - e.Omega*d) / n
+	if e.CPICache < 0 {
+		e.CPICache = 0
+	}
+	e.Burden = (e.CPICache + e.MPI*e.OmegaT) / (e.CPICache + e.MPI*e.Omega)
+	if e.Burden < 1 {
+		e.Burden = 1
+	}
+	e.MemoryTime = e.Omega * d / float64(s.Cycles)
+	return e
+}
+
+// String renders the explanation as a short multi-line report.
+func (e Explanation) String() string {
+	if e.Gate != "" {
+		return fmt.Sprintf("t=%d: beta=1 (%s)", e.Threads, e.Gate)
+	}
+	return fmt.Sprintf(
+		"t=%d: N=%d T=%d D=%d MPI=%.4f delta=%.0fMB/s\n"+
+			"  omega=%.1f cyc/miss, CPI$=%.3f, delta_t=%.0fMB/s, omega_t=%.1f\n"+
+			"  beta=%.3f (memory is %.0f%% of serial time)",
+		e.Threads, e.N, e.T, e.D, e.MPI, e.DeltaMBps,
+		e.Omega, e.CPICache, e.DeltaT, e.OmegaT,
+		e.Burden, 100*e.MemoryTime)
+}

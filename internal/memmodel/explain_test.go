@@ -1,0 +1,79 @@
+package memmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prophet/internal/counters"
+)
+
+// TestExplainAgreesWithBurden: Explain must compute exactly Burden for
+// any sample/thread combination.
+func TestExplainAgreesWithBurden(t *testing.T) {
+	m := PaperModel()
+	samples := []counters.Sample{
+		lowTrafficSample(),
+		heavyTrafficSample(),
+		{},
+		{Instructions: 1000, Cycles: 1_000_000, LLCMisses: 900},
+	}
+	for _, s := range samples {
+		for _, th := range []int{1, 2, 4, 6, 8, 12, 20} {
+			want := m.Burden(s, th)
+			got := m.Explain(s, th).Burden
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("Explain(%+v, %d).Burden = %g, Burden = %g", s, th, got, want)
+			}
+		}
+	}
+}
+
+func TestExplainGates(t *testing.T) {
+	m := PaperModel()
+	if e := m.Explain(heavyTrafficSample(), 1); !strings.Contains(e.Gate, "single thread") {
+		t.Errorf("gate = %q", e.Gate)
+	}
+	if e := m.Explain(counters.Sample{}, 4); !strings.Contains(e.Gate, "no profile") {
+		t.Errorf("gate = %q", e.Gate)
+	}
+	if e := m.Explain(lowTrafficSample(), 4); !strings.Contains(e.Gate, "Assumption 5") {
+		t.Errorf("gate = %q", e.Gate)
+	}
+	// Moderate MPI but low absolute traffic: the Eq. (6/7) floor.
+	slow := counters.Sample{Instructions: 1_000, Cycles: 10_000_000, LLCMisses: 100}
+	if e := m.Explain(slow, 4); !strings.Contains(e.Gate, "floor") {
+		t.Errorf("gate = %q (delta=%g)", e.Gate, e.DeltaMBps)
+	}
+}
+
+func TestExplainInternalsConsistent(t *testing.T) {
+	m := PaperModel()
+	e := m.Explain(heavyTrafficSample(), 12)
+	if e.Gate != "" {
+		t.Fatalf("unexpected gate %q", e.Gate)
+	}
+	if e.OmegaT < e.Omega {
+		t.Error("omega_t below serial omega")
+	}
+	if e.DeltaT > e.DeltaMBps {
+		t.Error("per-thread traffic above serial traffic")
+	}
+	if e.MemoryTime < 0 || e.MemoryTime > 1.5 {
+		t.Errorf("memory time fraction %g implausible", e.MemoryTime)
+	}
+	// Eq. (3) recomputed from the exposed terms.
+	beta := (e.CPICache + e.MPI*e.OmegaT) / (e.CPICache + e.MPI*e.Omega)
+	if math.Abs(beta-e.Burden) > 1e-12 {
+		t.Errorf("exposed terms do not reproduce beta: %g vs %g", beta, e.Burden)
+	}
+	s := e.String()
+	for _, want := range []string{"beta=", "omega_t", "MB/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(m.Explain(lowTrafficSample(), 4).String(), "beta=1") {
+		t.Error("gated String() should say beta=1")
+	}
+}

@@ -1,0 +1,80 @@
+package memmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"prophet/internal/fit"
+)
+
+// jsonModel is the stable wire form of a calibrated model, so a
+// calibration can be saved once (cmd/calibrate -o) and reused across runs
+// — the paper's Ψ/Φ constants were likewise measured once per machine.
+type jsonModel struct {
+	Hz             float64   `json:"hz"`
+	MinMPI         float64   `json:"min_mpi"`
+	MinTrafficMBps float64   `json:"min_traffic_mbps"`
+	PhiA           float64   `json:"phi_a"`
+	PhiB           float64   `json:"phi_b"`
+	Psi            []jsonPsi `json:"psi"`
+}
+
+type jsonPsi struct {
+	Threads int     `json:"threads"`
+	Kind    string  `json:"kind"` // "linear" or "log"
+	A       float64 `json:"a"`
+	B       float64 `json:"b"`
+}
+
+// MarshalJSON encodes the model deterministically (ascending thread
+// counts).
+func (m *Model) MarshalJSON() ([]byte, error) {
+	j := jsonModel{
+		Hz:             m.Hz,
+		MinMPI:         m.MinMPI,
+		MinTrafficMBps: m.MinTrafficMBps,
+		PhiA:           m.Phi.A,
+		PhiB:           m.Phi.B,
+	}
+	ts := make([]int, 0, len(m.Psi))
+	for t := range m.Psi {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	for _, t := range ts {
+		p := m.Psi[t]
+		kind := "linear"
+		if p.Kind == PsiLog {
+			kind = "log"
+		}
+		j.Psi = append(j.Psi, jsonPsi{Threads: t, Kind: kind, A: p.A, B: p.B})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a model written by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j jsonModel
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m.Hz = j.Hz
+	m.MinMPI = j.MinMPI
+	m.MinTrafficMBps = j.MinTrafficMBps
+	m.Phi = fit.Power{A: j.PhiA, B: j.PhiB}
+	m.Psi = make(map[int]Psi, len(j.Psi))
+	for _, p := range j.Psi {
+		var kind PsiKind
+		switch p.Kind {
+		case "linear":
+			kind = PsiLinear
+		case "log":
+			kind = PsiLog
+		default:
+			return fmt.Errorf("memmodel: unknown Psi kind %q", p.Kind)
+		}
+		m.Psi[p.Threads] = Psi{Kind: kind, A: p.A, B: p.B}
+	}
+	return nil
+}

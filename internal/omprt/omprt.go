@@ -1,0 +1,270 @@
+// Package omprt is an OpenMP-style runtime for the simulated machine
+// (internal/sim). It provides parallel-for with the schedules the paper
+// models — (static), (static,c), (dynamic,c) and (guided) — plus critical
+// sections, and reproduces OpenMP 2.0's naive nested behaviour: every
+// parallel region, nested or not, spawns a fresh team of physical threads,
+// which oversubscribes the machine exactly the way the paper describes
+// (§III "Nested and recursive parallelism", §IV-D).
+//
+// Runtime overheads (fork, join, chunk dispatch, lock enter/exit) are paid
+// as explicit Work cycles. The default constants are in the range reported
+// by the EPCC OpenMP microbenchmarks the paper cites [6, 8]; the FF
+// emulator uses the same constants, and internal/ff's calibration test
+// cross-checks them against this runtime.
+package omprt
+
+import (
+	"prophet/internal/clock"
+	"prophet/internal/sim"
+)
+
+// ScheduleKind enumerates OpenMP loop schedules.
+type ScheduleKind uint8
+
+// Supported schedules.
+const (
+	// Static divides the iteration space into one contiguous block per
+	// thread — OpenMP's schedule(static).
+	Static ScheduleKind = iota
+	// StaticChunk deals chunks of Chunk iterations round-robin —
+	// schedule(static,c).
+	StaticChunk
+	// Dynamic hands out chunks of Chunk iterations first-come
+	// first-served — schedule(dynamic,c).
+	Dynamic
+	// Guided hands out exponentially shrinking chunks —
+	// schedule(guided).
+	Guided
+)
+
+// Sched is a schedule kind plus its chunk size.
+type Sched struct {
+	Kind  ScheduleKind
+	Chunk int
+}
+
+// Common schedules, named as the paper writes them.
+var (
+	// SchedStatic is schedule(static).
+	SchedStatic = Sched{Kind: Static}
+	// SchedStatic1 is schedule(static,1).
+	SchedStatic1 = Sched{Kind: StaticChunk, Chunk: 1}
+	// SchedDynamic1 is schedule(dynamic,1).
+	SchedDynamic1 = Sched{Kind: Dynamic, Chunk: 1}
+	// SchedGuided is schedule(guided).
+	SchedGuided = Sched{Kind: Guided, Chunk: 1}
+)
+
+// String returns the OpenMP clause spelling, e.g. "(dynamic,1)".
+func (s Sched) String() string {
+	switch s.Kind {
+	case Static:
+		return "(static)"
+	case StaticChunk:
+		return "(static," + itoa(s.Chunk) + ")"
+	case Dynamic:
+		return "(dynamic," + itoa(s.Chunk) + ")"
+	case Guided:
+		return "(guided)"
+	}
+	return "(?)"
+}
+
+func itoa(n int) string {
+	if n <= 0 {
+		n = 1
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Overheads are the runtime's parallel-overhead constants, in cycles.
+type Overheads struct {
+	// ForkPerThread is paid by the master for each thread it spawns when
+	// a parallel region starts.
+	ForkPerThread clock.Cycles
+	// WorkerInit is paid by each team member before its first iteration.
+	WorkerInit clock.Cycles
+	// JoinBarrier is paid by the master after the team joins (the
+	// implicit barrier cost).
+	JoinBarrier clock.Cycles
+	// Dispatch is paid per chunk fetch under dynamic/guided scheduling.
+	Dispatch clock.Cycles
+	// StaticDispatch is paid per chunk under static schedules (cheaper:
+	// no shared counter).
+	StaticDispatch clock.Cycles
+	// LockEnter / LockExit are paid inside a critical section on entry
+	// and before exit.
+	LockEnter, LockExit clock.Cycles
+}
+
+// DefaultOverheads returns EPCC-range constants for a Westmere-class
+// machine at 2.4 GHz: forking a thread ~0.6 µs, joining ~1 µs, a dynamic
+// chunk fetch ~60 ns, a critical section ~40 ns each way.
+func DefaultOverheads() Overheads {
+	return Overheads{
+		ForkPerThread:  1500,
+		WorkerInit:     300,
+		JoinBarrier:    2500,
+		Dispatch:       150,
+		StaticDispatch: 20,
+		LockEnter:      100,
+		LockExit:       100,
+	}
+}
+
+// Runtime is an OpenMP-style runtime bound to a thread count.
+type Runtime struct {
+	nthreads int
+	ov       Overheads
+}
+
+// New returns a runtime that runs parallel regions on teams of nthreads
+// (minimum 1) with the given overhead constants.
+func New(nthreads int, ov Overheads) *Runtime {
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	return &Runtime{nthreads: nthreads, ov: ov}
+}
+
+// Threads returns the team size.
+func (rt *Runtime) Threads() int { return rt.nthreads }
+
+// Overheads returns the runtime's overhead constants.
+func (rt *Runtime) Overheads() Overheads { return rt.ov }
+
+// ParallelFor executes body(w, i) for every i in [0, n) on a team of
+// rt.Threads() threads: the calling thread becomes the master and
+// participates, and rt.Threads()-1 workers are spawned (OpenMP 2.0
+// behaviour — fresh physical threads per region, nested regions included).
+// The call returns after the implicit end-of-loop barrier.
+func (rt *Runtime) ParallelFor(t *sim.Thread, n int, sched Sched, body func(w *sim.Thread, i int)) {
+	if n <= 0 {
+		return
+	}
+	nt := rt.nthreads
+	if nt > n {
+		nt = n
+	}
+	if nt == 1 {
+		rt.runWorker(t, 0, 1, n, sched, body, &counter{n: n})
+		return
+	}
+	// Shared dynamic-dispatch state; safe without locks because the
+	// engine runs one thread at a time and mutations happen between
+	// engine calls.
+	ctr := &counter{next: 0, n: n}
+	t.Work(rt.ov.ForkPerThread * clock.Cycles(nt-1))
+	team := make([]*sim.Thread, 0, nt-1)
+	for k := 1; k < nt; k++ {
+		k := k
+		team = append(team, t.Spawn(func(w *sim.Thread) {
+			rt.runWorker(w, k, nt, n, sched, body, ctr)
+		}))
+	}
+	rt.runWorker(t, 0, nt, n, sched, body, ctr)
+	for _, w := range team {
+		t.Join(w)
+	}
+	t.Work(rt.ov.JoinBarrier)
+}
+
+type counter struct {
+	next int
+	n    int
+}
+
+// take grabs up to chunk iterations, returning [lo, hi) or ok=false.
+func (c *counter) take(chunk int) (lo, hi int, ok bool) {
+	if c.next >= c.n {
+		return 0, 0, false
+	}
+	lo = c.next
+	hi = lo + chunk
+	if hi > c.n {
+		hi = c.n
+	}
+	c.next = hi
+	return lo, hi, true
+}
+
+func (rt *Runtime) runWorker(w *sim.Thread, k, nt, n int, sched Sched, body func(*sim.Thread, int), ctr *counter) {
+	w.Work(rt.ov.WorkerInit)
+	chunk := sched.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	switch sched.Kind {
+	case Static:
+		// One contiguous block per thread, remainder spread over the
+		// first threads (the usual static partition).
+		base := n / nt
+		rem := n % nt
+		lo := k*base + min(k, rem)
+		hi := lo + base
+		if k < rem {
+			hi++
+		}
+		if lo < hi {
+			w.Work(rt.ov.StaticDispatch)
+			for i := lo; i < hi; i++ {
+				body(w, i)
+			}
+		}
+	case StaticChunk:
+		for lo := k * chunk; lo < n; lo += nt * chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			w.Work(rt.ov.StaticDispatch)
+			for i := lo; i < hi; i++ {
+				body(w, i)
+			}
+		}
+	case Dynamic:
+		for {
+			w.Work(rt.ov.Dispatch)
+			lo, hi, ok := ctr.take(chunk)
+			if !ok {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				body(w, i)
+			}
+		}
+	case Guided:
+		for {
+			w.Work(rt.ov.Dispatch)
+			remaining := ctr.n - ctr.next
+			c := remaining / (2 * nt)
+			if c < chunk {
+				c = chunk
+			}
+			lo, hi, ok := ctr.take(c)
+			if !ok {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				body(w, i)
+			}
+		}
+	}
+}
+
+// Critical runs f while holding lock id, paying the critical-section
+// overheads (#pragma omp critical with a named lock, or an omp_lock).
+func (rt *Runtime) Critical(t *sim.Thread, id int, f func()) {
+	t.Lock(id)
+	t.Work(rt.ov.LockEnter)
+	f()
+	t.Work(rt.ov.LockExit)
+	t.Unlock(id)
+}

@@ -1,0 +1,214 @@
+// Package pipesim executes a pipeline-parallel section (tree.Node with
+// Pipeline set) on the simulated machine — the runtime counterpart of the
+// FF's pipeline schedule (internal/ff/pipeline.go) used by both the
+// ground-truth runner and the synthesizer.
+//
+// Scheduling follows decoupled software pipelining: stage s is bound to
+// worker s mod nt; each worker processes its stages in iteration order and
+// blocks until stage s-1 of the same iteration has completed. The
+// iteration-major order within a worker matches the FF model, so the two
+// emulators agree on the schedule and differ only in machine effects.
+package pipesim
+
+import (
+	"prophet/internal/sim"
+	"prophet/internal/tree"
+)
+
+// Exec executes one stage segment (a U or L leaf) on the given thread.
+// Implementations handle L-node locking themselves.
+type Exec func(w *sim.Thread, seg *tree.Node)
+
+// StageSlots flattens a task's (segment, repeat) positions into stage
+// slots — slot k of every iteration belongs to pipeline stage k.
+func StageSlots(task *tree.Node) []*tree.Node {
+	var out []*tree.Node
+	for _, seg := range task.Children {
+		for r := 0; r < seg.Reps(); r++ {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// Depth returns the pipeline depth of a section: the widest task's slot
+// count.
+func Depth(sec *tree.Node) int {
+	depth := 0
+	for _, c := range sec.Children {
+		if c.Kind != tree.Task {
+			continue
+		}
+		if d := len(StageSlots(c)); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// PartitionStages assigns the section's stages to nt workers as contiguous
+// groups balanced by total stage weight (the classic linear-partition DP).
+// Contiguity matters: a worker owning stages {0, 2} of the same iteration
+// would serialize the whole pipeline, while fusing adjacent stages merely
+// coarsens it — the decoupled-software-pipelining assignment. The result
+// maps stage index to worker rank and is shared by the FF's pipeline
+// schedule and the machine execution, so they model the same assignment.
+func PartitionStages(sec *tree.Node, nt int) []int {
+	depth := Depth(sec)
+	if depth == 0 {
+		return nil
+	}
+	if nt > depth {
+		nt = depth
+	}
+	if nt < 1 {
+		nt = 1
+	}
+	// Per-stage weight: total cycles across all iterations.
+	weights := make([]float64, depth)
+	for _, c := range sec.Children {
+		if c.Kind != tree.Task {
+			continue
+		}
+		for s, seg := range StageSlots(c) {
+			weights[s] += float64(seg.Len) * float64(c.Reps())
+		}
+	}
+	// DP: cost[g][s] = minimal max-group-sum partitioning stages [0, s]
+	// into g+1 groups.
+	prefix := make([]float64, depth+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	sum := func(a, b int) float64 { return prefix[b+1] - prefix[a] } // stages a..b
+	const inf = 1e300
+	cost := make([][]float64, nt)
+	cut := make([][]int, nt)
+	for g := range cost {
+		cost[g] = make([]float64, depth)
+		cut[g] = make([]int, depth)
+	}
+	for s := 0; s < depth; s++ {
+		cost[0][s] = sum(0, s)
+	}
+	for g := 1; g < nt; g++ {
+		for s := 0; s < depth; s++ {
+			cost[g][s] = inf
+			for k := g - 1; k < s; k++ {
+				c := cost[g-1][k]
+				if last := sum(k+1, s); last > c {
+					c = last
+				}
+				if c < cost[g][s] {
+					cost[g][s] = c
+					cut[g][s] = k
+				}
+			}
+			if cost[g][s] == inf { // fewer stages than groups
+				cost[g][s] = cost[g-1][s]
+				cut[g][s] = s
+			}
+		}
+	}
+	// Walk the cuts back into a stage->worker map.
+	out := make([]int, depth)
+	s := depth - 1
+	for g := nt - 1; g >= 1; g-- {
+		k := cut[g][s]
+		for i := k + 1; i <= s; i++ {
+			out[i] = g
+		}
+		s = k
+	}
+	// Stages 0..s stay in group 0 (already zero-valued).
+	// Normalize: group ids must be ascending without gaps.
+	next, seen := 0, map[int]int{}
+	for i, g := range out {
+		id, ok := seen[g]
+		if !ok {
+			id = next
+			seen[g] = id
+			next++
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Run executes the pipeline section on main's machine with up to threads
+// workers, invoking exec for every stage instance. It returns when every
+// iteration has drained through every stage (the section's barrier).
+func Run(main *sim.Thread, sec *tree.Node, threads int, exec Exec) {
+	// Expand the logical iteration list (Repeat-compressed tasks).
+	var iters []*tree.Node
+	for _, c := range sec.Children {
+		if c.Kind != tree.Task {
+			continue
+		}
+		for r := 0; r < c.Reps(); r++ {
+			iters = append(iters, c)
+		}
+	}
+	depth := Depth(sec)
+	if len(iters) == 0 || depth == 0 {
+		return
+	}
+	groups := PartitionStages(sec, threads)
+	nt := 0
+	for _, g := range groups {
+		if g+1 > nt {
+			nt = g + 1
+		}
+	}
+
+	// stageDone[s] counts iterations whose stage s has completed; the
+	// engine serializes all workers, so plain ints and slices suffice.
+	stageDone := make([]int, depth)
+	var parked []*sim.Thread
+
+	wake := func(w *sim.Thread) {
+		for _, p := range parked {
+			w.Unpark(p)
+		}
+		parked = nil
+	}
+
+	worker := func(rank int) func(*sim.Thread) {
+		return func(w *sim.Thread) {
+			for i, task := range iters {
+				slots := StageSlots(task)
+				for s := 0; s < depth; s++ {
+					if groups[s] != rank {
+						continue
+					}
+					if s >= len(slots) {
+						// This iteration is narrower than
+						// the pipeline: the stage is a
+						// no-op, but still retires in
+						// order.
+						stageDone[s] = i + 1
+						wake(w)
+						continue
+					}
+					// Wait for stage s-1 of this iteration.
+					for s > 0 && stageDone[s-1] <= i {
+						parked = append(parked, w)
+						w.Park()
+					}
+					exec(w, slots[s])
+					stageDone[s] = i + 1
+					wake(w)
+				}
+			}
+		}
+	}
+
+	helpers := make([]*sim.Thread, 0, nt-1)
+	for r := 1; r < nt; r++ {
+		helpers = append(helpers, main.Spawn(worker(r)))
+	}
+	worker(0)(main)
+	for _, h := range helpers {
+		main.Join(h)
+	}
+}

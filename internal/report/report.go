@@ -1,0 +1,192 @@
+// Package report renders the evaluation's tables and figure data as
+// aligned text and CSV, so cmd/ppexp can regenerate every table and figure
+// of the paper as terminal output and machine-readable series.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	row(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series holds figure data: one x column and several named y columns —
+// e.g. Fig. 12's per-benchmark (cores; Real, Pred, PredM, Suit).
+type Series struct {
+	Name   string
+	XLabel string
+	Cols   []string
+	X      []float64
+	Y      [][]float64 // Y[i][j] = column j at X[i]
+}
+
+// NewSeries creates a series with the given y-column names.
+func NewSeries(name, xlabel string, cols ...string) *Series {
+	return &Series{Name: name, XLabel: xlabel, Cols: cols}
+}
+
+// AddPoint appends one x with its y values.
+func (s *Series) AddPoint(x float64, ys ...float64) {
+	s.X = append(s.X, x)
+	row := make([]float64, len(s.Cols))
+	copy(row, ys)
+	s.Y = append(s.Y, row)
+}
+
+// Table renders the series as an aligned table.
+func (s *Series) Table() *Table {
+	t := NewTable(s.Name, append([]string{s.XLabel}, s.Cols...)...)
+	for i, x := range s.X {
+		cells := []string{fmt.Sprintf("%g", x)}
+		for _, y := range s.Y[i] {
+			cells = append(cells, fmt.Sprintf("%.2f", y))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// WriteCSV emits the series as CSV (header row, then one row per x).
+func (s *Series) WriteCSV(w io.Writer) error {
+	cols := append([]string{s.XLabel}, s.Cols...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range s.X {
+		cells := []string{fmt.Sprintf("%g", x)}
+		for _, y := range s.Y[i] {
+			cells = append(cells, fmt.Sprintf("%.4f", y))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter holds (x, y) point data with a label per point class — the
+// Fig. 11 predicted-vs-real scatter plots.
+type Scatter struct {
+	Name   string
+	Labels []string       // one per class (e.g. schedule)
+	Points [][][2]float64 // Points[class][i] = (pred, real)
+}
+
+// NewScatter creates a scatter container with the given class labels.
+func NewScatter(name string, labels ...string) *Scatter {
+	return &Scatter{Name: name, Labels: labels, Points: make([][][2]float64, len(labels))}
+}
+
+// Add records a point in the given class.
+func (s *Scatter) Add(class int, pred, real float64) {
+	s.Points[class] = append(s.Points[class], [2]float64{pred, real})
+}
+
+// WriteCSV emits "class,pred,real" rows.
+func (s *Scatter) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "class,predicted,real"); err != nil {
+		return err
+	}
+	for c, pts := range s.Points {
+		for _, p := range pts {
+			if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f\n", s.Labels[c], p[0], p[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

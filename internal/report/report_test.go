@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Fig. 5", "schedule", "predicted", "real")
+	tb.AddRow("(static,1)", "1.30", "1.31")
+	tb.AddRow("(dynamic,1)", "1.58", "1.60")
+	s := tb.String()
+	if !strings.Contains(s, "## Fig. 5") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title, blank, header, separator, 2 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("separator width mismatch:\n%s", s)
+	}
+	// Short rows pad instead of panicking.
+	tb.AddRow("only-one")
+	if !strings.Contains(tb.String(), "only-one") {
+		t.Error("short row lost")
+	}
+}
+
+func TestSeriesTableAndCSV(t *testing.T) {
+	s := NewSeries("NPB-FT", "cores", "Real", "Pred", "PredM")
+	s.AddPoint(2, 1.9, 2.0, 1.95)
+	s.AddPoint(4, 3.1, 4.0, 3.3)
+	tb := s.Table()
+	if len(tb.Rows) != 2 || tb.Headers[0] != "cores" {
+		t.Fatalf("table shape wrong: %+v", tb)
+	}
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	got := csv.String()
+	if !strings.HasPrefix(got, "cores,Real,Pred,PredM\n") {
+		t.Fatalf("csv header: %q", got)
+	}
+	if !strings.Contains(got, "4,3.1000,4.0000,3.3000") {
+		t.Fatalf("csv body: %q", got)
+	}
+}
+
+func TestScatterCSV(t *testing.T) {
+	sc := NewScatter("Test1 8-core", "static-1", "dynamic-1")
+	sc.Add(0, 3.0, 3.1)
+	sc.Add(1, 5.0, 4.8)
+	var b strings.Builder
+	if err := sc.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{"class,predicted,real", "static-1,3.0000,3.1000", "dynamic-1,5.0000,4.8000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("csv missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Fig. X", "a", "b")
+	tb.AddRow("1", "with|pipe")
+	var b strings.Builder
+	if err := tb.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{"## Fig. X", "| a | b |", "| --- | --- |", "with\\|pipe"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,612 @@
+// Package sim implements the simulated multicore machine that stands in for
+// the paper's 12-core Westmere testbed.
+//
+// It is a deterministic discrete-event simulator with:
+//
+//   - P cores and a preemptive round-robin OS scheduler with a time quantum
+//     and a global ready queue, so oversubscription (more threads than
+//     cores, §IV-D / Fig. 7 of the paper) behaves like a real OS;
+//   - virtual threads backed by goroutines but serialized by the engine:
+//     exactly one thread goroutine executes at a time, so runtime layers
+//     (internal/omprt, internal/cilkrt) are written in plain direct style
+//     with ordinary data structures and remain fully deterministic;
+//   - FIFO locks with direct handoff, park/unpark, spawn/join;
+//   - a bandwidth-shared DRAM (internal/mem): work segments carry an LLC
+//     miss count, and when the aggregate miss traffic of the running
+//     threads exceeds the DRAM bandwidth, their memory time stretches —
+//     this produces the speedup saturation the paper's memory model
+//     predicts (Fig. 2, Fig. 12).
+//
+// Virtual time is in cycles. A thread advances time only through engine
+// calls (Work, WorkMem, Lock, ...); code between calls is free, and
+// runtimes model their own overheads with explicit Work calls.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"prophet/internal/clock"
+	"prophet/internal/mem"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of processors (default 12, the paper machine).
+	Cores int
+	// Quantum is the OS scheduling time slice in cycles (default 50k).
+	Quantum clock.Cycles
+	// ContextSwitch is the overhead added when a core switches between
+	// threads. Zero selects the default (1000 cycles); a negative value
+	// disables the cost entirely (used by tests that assert exact
+	// makespans).
+	ContextSwitch clock.Cycles
+	// DRAM configures the memory system (defaults from mem.DefaultDRAM).
+	DRAM mem.DRAMConfig
+}
+
+// DefaultConfig returns the paper-machine configuration: 12 cores, 50k-cycle
+// quantum, Westmere-class DRAM.
+func DefaultConfig() Config {
+	return Config{Cores: 12, Quantum: 50_000, ContextSwitch: 1_000, DRAM: mem.DefaultDRAM()}
+}
+
+// Normalized returns the configuration with all defaults applied — the
+// exact values a machine built from c would use.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Cores <= 0 {
+		c.Cores = d.Cores
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = d.Quantum
+	}
+	switch {
+	case c.ContextSwitch == 0:
+		c.ContextSwitch = d.ContextSwitch
+	case c.ContextSwitch < 0:
+		c.ContextSwitch = 0
+	}
+	// Normalize the DRAM config the same way the model itself would, so
+	// the engine's timing math sees the defaulted values.
+	c.DRAM = mem.NewDRAM(c.DRAM).Config()
+	return c
+}
+
+// Stats aggregates machine-level activity over a run.
+type Stats struct {
+	// Instructions is the total executed instruction-cycles.
+	Instructions float64
+	// Misses is the total LLC misses serviced.
+	Misses float64
+	// BusyCycles is the total core-busy time (for utilization).
+	BusyCycles clock.Cycles
+	// Preemptions counts involuntary context switches.
+	Preemptions int64
+	// Events counts processed simulator events (for performance
+	// ablations).
+	Events int64
+}
+
+type tstate uint8
+
+const (
+	stateReady tstate = iota
+	stateRunning
+	stateBlocked
+	stateExited
+)
+
+// Thread is a virtual thread of the simulated machine. All methods must be
+// called from the thread's own function (the engine enforces the
+// one-at-a-time discipline).
+type Thread struct {
+	id     int
+	m      *Machine
+	resume chan struct{}
+	state  tstate
+	core   int // core index while running, -1 otherwise
+
+	// Pending work request.
+	instrLeft  float64
+	missesLeft float64
+	demand     float64 // registered DRAM demand while a slice is active
+	sliceWork  clock.Cycles
+	sliceDur   clock.Cycles
+
+	joiners   []*Thread
+	parkToken bool
+	inPark    bool
+	spawned   *Thread
+	now       clock.Cycles
+	// pinned restricts the thread to one core (-1 = any), like
+	// sched_setaffinity; the paper pins its tracer thread (§VI-A).
+	pinned int
+}
+
+// ID returns the thread's creation-ordered identifier (main is 0).
+func (t *Thread) ID() int { return t.id }
+
+// Now returns the thread's current virtual time. Time is frozen while the
+// thread's code runs; it advances only across engine calls.
+func (t *Thread) Now() clock.Cycles { return t.now }
+
+// Machine returns the machine the thread runs on.
+func (t *Thread) Machine() *Machine { return t.m }
+
+type opKind uint8
+
+const (
+	opWork opKind = iota
+	opLock
+	opUnlock
+	opSpawn
+	opJoin
+	opPark
+	opUnpark
+	opYield
+	opSleep
+	opExit
+)
+
+type request struct {
+	t      *Thread
+	kind   opKind
+	instr  float64
+	misses float64
+	lock   int
+	other  *Thread
+	fn     func(*Thread)
+	reply  *Thread // spawn result
+}
+
+type lockState struct {
+	owner   *Thread
+	waiters []*Thread
+}
+
+type event struct {
+	time clock.Cycles
+	seq  uint64
+	core int
+	gen  uint64
+	// wake, when non-nil, marks a sleep-expiry event for that thread
+	// instead of a core slice end.
+	wake *Thread
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type coreState struct {
+	running     *Thread
+	gen         uint64
+	quantumLeft clock.Cycles
+	lastThread  *Thread
+}
+
+// Machine is the simulated multicore machine.
+type Machine struct {
+	cfg    Config
+	dram   *mem.DRAM
+	now    clock.Cycles
+	reqCh  chan request
+	ready  []*Thread
+	cores  []coreState
+	events eventHeap
+	seq    uint64
+	live   int
+	nextID int
+	locks  map[int]*lockState
+	stats  Stats
+	end    clock.Cycles
+	// recorder, when set, captures executed work slices (see trace.go).
+	recorder *Recorder
+}
+
+// New creates a machine. Most callers use Run instead.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		cfg:   cfg,
+		dram:  mem.NewDRAM(cfg.DRAM),
+		reqCh: make(chan request),
+		cores: make([]coreState, cfg.Cores),
+		locks: make(map[int]*lockState),
+	}
+	for i := range m.cores {
+		m.cores[i].quantumLeft = cfg.Quantum
+	}
+	return m
+}
+
+// Run executes main as thread 0 of a machine with the given configuration
+// and returns the makespan (the time the last thread exited) and run stats.
+// Run panics on deadlock (every live thread blocked), which indicates a bug
+// in the runtime layer under test.
+func Run(cfg Config, main func(*Thread)) (clock.Cycles, Stats) {
+	m := New(cfg)
+	t := m.newThread(main)
+	m.makeReady(t)
+	m.loop()
+	return m.end, m.stats
+}
+
+// Config returns the (defaulted) machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Time returns the machine's current virtual time.
+func (m *Machine) Time() clock.Cycles { return m.now }
+
+// DRAM exposes the memory model (used by calibration benchmarks).
+func (m *Machine) DRAM() *mem.DRAM { return m.dram }
+
+func (m *Machine) newThread(f func(*Thread)) *Thread {
+	t := &Thread{id: m.nextID, m: m, resume: make(chan struct{}), core: -1, state: stateReady, pinned: -1}
+	m.nextID++
+	m.live++
+	go func() {
+		<-t.resume
+		f(t)
+		m.reqCh <- request{t: t, kind: opExit}
+	}()
+	return t
+}
+
+func (m *Machine) makeReady(t *Thread) {
+	t.state = stateReady
+	t.inPark = false
+	t.core = -1
+	m.ready = append(m.ready, t)
+}
+
+// loop is the engine: it assigns ready threads to idle cores, pops the next
+// slice-end event, and advances virtual time until every thread has exited.
+func (m *Machine) loop() {
+	for m.live > 0 {
+		m.assignCores()
+		if m.live == 0 {
+			break
+		}
+		if len(m.events) == 0 {
+			if m.anyRunnable() {
+				continue
+			}
+			panic(fmt.Sprintf("sim: deadlock at t=%d: %d live threads, none runnable", m.now, m.live))
+		}
+		e := heap.Pop(&m.events).(event)
+		m.stats.Events++
+		if e.wake != nil {
+			if e.time > m.now {
+				m.now = e.time
+			}
+			m.makeReady(e.wake)
+			continue
+		}
+		c := &m.cores[e.core]
+		if c.gen != e.gen || c.running == nil {
+			continue // stale event from a cancelled slice
+		}
+		if e.time > m.now {
+			m.now = e.time
+		}
+		m.sliceEnd(e.core)
+	}
+}
+
+func (m *Machine) anyRunnable() bool {
+	return len(m.ready) > 0
+}
+
+// assignCores places ready threads onto idle cores until a fixpoint:
+// starting a thread can run its code synchronously (startOn -> serve),
+// which may free the core again or wake further threads, so a single pass
+// is not enough.
+func (m *Machine) assignCores() {
+	for {
+		placed := false
+		for i := range m.cores {
+			if m.cores[i].running != nil || len(m.ready) == 0 {
+				continue
+			}
+			// First ready thread compatible with this core (FIFO
+			// among compatible threads; pinned threads wait for
+			// their core).
+			picked := -1
+			for k, t := range m.ready {
+				if t.pinned == -1 || t.pinned == i {
+					picked = k
+					break
+				}
+			}
+			if picked < 0 {
+				continue
+			}
+			t := m.ready[picked]
+			m.ready = append(m.ready[:picked], m.ready[picked+1:]...)
+			m.startOn(i, t)
+			placed = true
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// startOn places thread t on core i with a fresh quantum and either starts
+// its pending work slice or resumes its code.
+func (m *Machine) startOn(i int, t *Thread) {
+	c := &m.cores[i]
+	c.running = t
+	c.quantumLeft = m.cfg.Quantum
+	t.state = stateRunning
+	t.core = i
+	t.now = m.now
+	var overhead clock.Cycles
+	if c.lastThread != t && c.lastThread != nil {
+		overhead = m.cfg.ContextSwitch
+	}
+	c.lastThread = t
+	if t.instrLeft > 0 || t.missesLeft > 0 {
+		m.startSlice(i, overhead)
+	} else if overhead > 0 {
+		// Pay the switch cost before the thread continues.
+		t.instrLeft = 0
+		m.scheduleSlice(i, overhead, 0)
+	} else {
+		m.serve(t)
+	}
+}
+
+// startSlice begins (or continues) the thread's current work request on
+// core i, computing the slice duration under the current DRAM contention.
+func (m *Machine) startSlice(i int, overhead clock.Cycles) {
+	c := &m.cores[i]
+	t := c.running
+	stretch := 1.0
+	if t.missesLeft > 0 {
+		t.demand = m.cfg.DRAM.UnconstrainedDemand(t.instrLeft, t.missesLeft)
+		m.dram.Register(t.demand)
+		stretch = m.dram.Stretch()
+	}
+	total := t.instrLeft + t.missesLeft*m.cfg.DRAM.UnloadedLatency*stretch
+	dur := clock.Cycles(total + 0.5)
+	if dur < 1 {
+		dur = 1
+	}
+	work := dur
+	if q := c.quantumLeft; work > q {
+		work = q
+	}
+	m.scheduleSlice(i, overhead, work)
+	t.sliceWork = work
+	t.sliceDur = dur
+}
+
+// scheduleSlice arms the slice-end event for core i after overhead+work
+// cycles.
+func (m *Machine) scheduleSlice(i int, overhead, work clock.Cycles) {
+	c := &m.cores[i]
+	c.gen++
+	m.seq++
+	heap.Push(&m.events, event{time: m.now + overhead + work, seq: m.seq, core: i, gen: c.gen})
+}
+
+// sliceEnd handles the expiry of core i's current slice: work progress is
+// booked, and the thread either continues, is preempted, or resumes its
+// code.
+func (m *Machine) sliceEnd(i int) {
+	c := &m.cores[i]
+	t := c.running
+	if t.demand > 0 {
+		m.dram.Unregister(t.demand)
+		t.demand = 0
+	}
+	work := t.sliceWork
+	t.sliceWork = 0
+	m.stats.BusyCycles += work
+	if m.recorder != nil {
+		m.recorder.record(i, t.id, m.now-work, m.now)
+	}
+	c.quantumLeft -= work
+	if t.sliceDur > 0 && work > 0 {
+		frac := float64(work) / float64(t.sliceDur)
+		if frac > 1 {
+			frac = 1
+		}
+		di := t.instrLeft * frac
+		dm := t.missesLeft * frac
+		t.instrLeft -= di
+		t.missesLeft -= dm
+		m.stats.Instructions += di
+		m.stats.Misses += dm
+	}
+	t.sliceDur = 0
+	t.now = m.now
+	const eps = 0.5
+	if t.instrLeft < eps && t.missesLeft < eps {
+		t.instrLeft, t.missesLeft = 0, 0
+		m.serve(t)
+		return
+	}
+	if c.quantumLeft <= 0 {
+		if len(m.ready) > 0 {
+			// Preempt: back of the ready queue.
+			m.stats.Preemptions++
+			c.running = nil
+			m.makeReady(t)
+			return
+		}
+		c.quantumLeft = m.cfg.Quantum
+	}
+	m.startSlice(i, 0)
+}
+
+// serve resumes thread t's code and handles its requests until the thread
+// parks (work, blocked lock, join, park), is preempted, or exits.
+func (m *Machine) serve(t *Thread) {
+	for {
+		t.now = m.now
+		t.resume <- struct{}{}
+		req := <-m.reqCh
+		if m.handle(req) {
+			return
+		}
+	}
+}
+
+// handle processes one request; it returns true when the requesting thread
+// no longer runs synchronously (parked, working, or exited).
+func (m *Machine) handle(req request) bool {
+	t := req.t
+	switch req.kind {
+	case opWork:
+		if req.instr <= 0 && req.misses <= 0 {
+			return false
+		}
+		t.instrLeft = req.instr
+		t.missesLeft = req.misses
+		m.startSlice(t.core, 0)
+		return true
+
+	case opLock:
+		l := m.lock(req.lock)
+		if l.owner == nil {
+			l.owner = t
+			return false
+		}
+		l.waiters = append(l.waiters, t)
+		m.block(t)
+		return true
+
+	case opUnlock:
+		l := m.lock(req.lock)
+		if l.owner != t {
+			panic(fmt.Sprintf("sim: thread %d unlocks lock %d owned by %v", t.id, req.lock, ownerID(l.owner)))
+		}
+		if len(l.waiters) > 0 {
+			next := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			l.owner = next
+			m.makeReady(next)
+		} else {
+			l.owner = nil
+		}
+		return false
+
+	case opSpawn:
+		nt := m.newThread(req.fn)
+		m.makeReady(nt)
+		t.spawned = nt
+		return false
+
+	case opJoin:
+		o := req.other
+		if o.state == stateExited {
+			return false
+		}
+		o.joiners = append(o.joiners, t)
+		m.block(t)
+		return true
+
+	case opPark:
+		if t.parkToken {
+			t.parkToken = false
+			return false
+		}
+		m.block(t)
+		t.inPark = true
+		return true
+
+	case opUnpark:
+		o := req.other
+		if o.state == stateBlocked && o.blockedInPark() {
+			m.makeReady(o)
+		} else {
+			o.parkToken = true
+		}
+		return false
+
+	case opYield:
+		if len(m.ready) == 0 {
+			return false
+		}
+		c := &m.cores[t.core]
+		c.running = nil
+		m.makeReady(t)
+		return true
+
+	case opSleep:
+		// Timed block without a core (I/O wait): wake at now + d.
+		d := clock.Cycles(req.instr)
+		if d <= 0 {
+			return false
+		}
+		m.block(t)
+		m.seq++
+		heap.Push(&m.events, event{time: m.now + d, seq: m.seq, wake: t})
+		return true
+
+	case opExit:
+		t.state = stateExited
+		m.live--
+		if m.now > m.end {
+			m.end = m.now
+		}
+		for _, j := range t.joiners {
+			m.makeReady(j)
+		}
+		t.joiners = nil
+		m.cores[t.core].running = nil
+		return true
+	}
+	panic("sim: unknown request kind")
+}
+
+// block removes t from its core and marks it blocked.
+func (m *Machine) block(t *Thread) {
+	m.cores[t.core].running = nil
+	t.state = stateBlocked
+	t.core = -1
+}
+
+func (m *Machine) lock(id int) *lockState {
+	l := m.locks[id]
+	if l == nil {
+		l = &lockState{}
+		m.locks[id] = l
+	}
+	return l
+}
+
+func ownerID(t *Thread) interface{} {
+	if t == nil {
+		return "nobody"
+	}
+	return t.id
+}
+
+// blockedInPark distinguishes a parked thread from one blocked on a lock or
+// join. A thread blocked on a lock is woken by direct handoff, never by
+// Unpark, so the distinction only needs to be "not in any wait list". The
+// engine keeps it simple: lock/join waiters are recorded in those
+// structures, and Unpark consults this flag set by opPark.
+func (t *Thread) blockedInPark() bool { return t.inPark }

@@ -1,0 +1,111 @@
+package sim
+
+import "prophet/internal/clock"
+
+// The methods in this file form the API that code running *inside* a
+// virtual thread uses. Each call hands control to the engine, which may
+// advance virtual time, preempt the thread, or block it; the call returns
+// when the engine schedules the thread again.
+
+// call submits a request and waits until the engine resumes this thread.
+func (t *Thread) call(req request) {
+	req.t = t
+	t.m.reqCh <- req
+	<-t.resume
+}
+
+// Work consumes c cycles of pure computation (no memory traffic). It is the
+// simulator's FakeDelay: time passes, caches and DRAM are untouched
+// (§IV-E). The work is preemptible at quantum boundaries.
+func (t *Thread) Work(c clock.Cycles) {
+	if c <= 0 {
+		return
+	}
+	t.call(request{kind: opWork, instr: float64(c)})
+}
+
+// WorkMem consumes instrCycles cycles of computation interleaved with
+// misses LLC misses. The memory portion dilates under DRAM contention, so
+// the elapsed virtual time is at least instrCycles + misses·ω₀ and grows
+// when other threads are streaming (§V's ground truth).
+func (t *Thread) WorkMem(instrCycles clock.Cycles, misses int64) {
+	if instrCycles <= 0 && misses <= 0 {
+		return
+	}
+	t.call(request{kind: opWork, instr: float64(instrCycles), misses: float64(misses)})
+}
+
+// Lock acquires the FIFO mutex id, blocking (and freeing the core) while
+// another thread holds it. Handoff is direct: the longest waiter becomes
+// the owner the moment the lock is released.
+func (t *Thread) Lock(id int) {
+	t.call(request{kind: opLock, lock: id})
+}
+
+// Unlock releases the mutex id. Unlocking a mutex the thread does not own
+// panics (a bug in the runtime layer).
+func (t *Thread) Unlock(id int) {
+	t.call(request{kind: opUnlock, lock: id})
+}
+
+// Spawn creates a new thread running f and returns it. The new thread is
+// ready immediately and will run as soon as a core is free (or at the next
+// quantum boundary under oversubscription).
+func (t *Thread) Spawn(f func(*Thread)) *Thread {
+	t.call(request{kind: opSpawn, fn: f})
+	nt := t.spawned
+	t.spawned = nil
+	return nt
+}
+
+// Join blocks until o has exited. Joining an already-exited thread returns
+// immediately.
+func (t *Thread) Join(o *Thread) {
+	t.call(request{kind: opJoin, other: o})
+}
+
+// Park blocks the thread until another thread calls Unpark on it. A pending
+// Unpark delivered before Park consumes the token and returns immediately
+// (the usual one-token semantics, so wakeups are never lost).
+func (t *Thread) Park() {
+	t.call(request{kind: opPark})
+}
+
+// Unpark wakes o from Park, or banks a token if o is not parked.
+func (t *Thread) Unpark(o *Thread) {
+	t.call(request{kind: opUnpark, other: o})
+}
+
+// Yield gives up the core to the next ready thread, if any, and re-enters
+// the tail of the ready queue.
+func (t *Thread) Yield() {
+	t.call(request{kind: opYield})
+}
+
+// Sleep blocks the thread for d cycles WITHOUT occupying a core — the
+// machine-level primitive behind I/O waits (tree.W nodes): other threads
+// run while this one sleeps. Sleep(0) and negative durations return
+// immediately.
+func (t *Thread) Sleep(d clock.Cycles) {
+	t.call(request{kind: opSleep, instr: float64(d)})
+}
+
+// Pin restricts the thread to one core (sched_setaffinity; the paper pins
+// its tracer thread to stabilize rdtsc, §VI-A). It takes effect at the
+// next scheduling decision: a running thread finishes its current slice
+// where it is, then only ever runs on the pinned core. Pin(-1) clears the
+// affinity. Out-of-range cores are clamped. The field is only read by the
+// engine while this thread is suspended, so no engine round trip is
+// needed.
+func (t *Thread) Pin(core int) {
+	if core >= len(t.m.cores) {
+		core = len(t.m.cores) - 1
+	}
+	if core < -1 {
+		core = -1
+	}
+	t.pinned = core
+}
+
+// Pinned returns the core this thread is pinned to, or -1.
+func (t *Thread) Pinned() int { return t.pinned }

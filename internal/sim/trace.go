@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prophet/internal/clock"
+)
+
+// Recorder captures per-core execution intervals of a machine run, for
+// debugging schedules and rendering timelines (the view Fig. 5's boxes and
+// Fig. 7's CPU lanes draw by hand).
+type Recorder struct {
+	// Intervals are work slices in completion order.
+	Intervals []Interval
+}
+
+// Interval is one executed work slice.
+type Interval struct {
+	Core   int
+	Thread int
+	Start  clock.Cycles
+	End    clock.Cycles
+}
+
+// record appends one slice (called by the engine at slice end).
+func (r *Recorder) record(core, thread int, start, end clock.Cycles) {
+	if end <= start {
+		return
+	}
+	r.Intervals = append(r.Intervals, Interval{Core: core, Thread: thread, Start: start, End: end})
+}
+
+// BusyCycles sums the recorded slice durations.
+func (r *Recorder) BusyCycles() clock.Cycles {
+	var total clock.Cycles
+	for _, iv := range r.Intervals {
+		total += iv.End - iv.Start
+	}
+	return total
+}
+
+// Makespan returns the latest recorded end time.
+func (r *Recorder) Makespan() clock.Cycles {
+	var end clock.Cycles
+	for _, iv := range r.Intervals {
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return end
+}
+
+// Utilization returns each core's busy fraction of the makespan (0 when
+// nothing was recorded) — the machine-level view behind speedup numbers:
+// a saturated memory-bound run shows high busy fractions with low speedup,
+// an I/O-bound run the opposite.
+func (r *Recorder) Utilization() map[int]float64 {
+	span := r.Makespan()
+	out := map[int]float64{}
+	if span == 0 {
+		return out
+	}
+	for _, iv := range r.Intervals {
+		out[iv.Core] += float64(iv.End-iv.Start) / float64(span)
+	}
+	return out
+}
+
+// PerCore groups intervals by core, each sorted by start time.
+func (r *Recorder) PerCore() map[int][]Interval {
+	out := map[int][]Interval{}
+	for _, iv := range r.Intervals {
+		out[iv.Core] = append(out[iv.Core], iv)
+	}
+	for _, list := range out {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start < list[j].Start })
+	}
+	return out
+}
+
+// Gantt renders a text timeline, one row per core, width columns wide.
+// Each cell shows the thread (0-9, then a-z, then '#') that occupied the
+// core for the majority of that time bucket; '.' is idle.
+func (r *Recorder) Gantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	span := r.Makespan()
+	if span == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	perCore := r.PerCore()
+	cores := make([]int, 0, len(perCore))
+	for c := range perCore {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	if _, err := fmt.Fprintf(w, "timeline: %d cycles, %d cores, '.'=idle\n", span, len(cores)); err != nil {
+		return err
+	}
+	for _, c := range cores {
+		row := make([]byte, width)
+		occupancy := make([]clock.Cycles, width)
+		owner := make([]int, width)
+		for i := range row {
+			row[i] = '.'
+			owner[i] = -1
+		}
+		bucket := float64(span) / float64(width)
+		for _, iv := range perCore[c] {
+			lo := int(float64(iv.Start) / bucket)
+			hi := int(float64(iv.End) / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			for b := lo; b <= hi; b++ {
+				bLo := clock.Cycles(float64(b) * bucket)
+				bHi := clock.Cycles(float64(b+1) * bucket)
+				ov := minC(iv.End, bHi) - maxC(iv.Start, bLo)
+				if ov > occupancy[b] {
+					occupancy[b] = ov
+					owner[b] = iv.Thread
+				}
+			}
+		}
+		for i, o := range owner {
+			if o >= 0 {
+				row[i] = threadGlyph(o)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "core %2d |%s|\n", c, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func threadGlyph(id int) byte {
+	switch {
+	case id < 10:
+		return byte('0' + id)
+	case id < 36:
+		return byte('a' + id - 10)
+	default:
+		return '#'
+	}
+}
+
+func minC(a, b clock.Cycles) clock.Cycles {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxC(a, b clock.Cycles) clock.Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunTraced is Run with a Recorder attached: every executed work slice is
+// captured for later rendering.
+func RunTraced(cfg Config, rec *Recorder, main func(*Thread)) (clock.Cycles, Stats) {
+	m := New(cfg)
+	m.recorder = rec
+	t := m.newThread(main)
+	m.makeReady(t)
+	m.loop()
+	return m.end, m.stats
+}

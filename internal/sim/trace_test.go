@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"prophet/internal/clock"
+)
+
+func TestRecorderCapturesSlices(t *testing.T) {
+	rec := &Recorder{}
+	end, st := RunTraced(cfg(2), rec, func(th *Thread) {
+		w := th.Spawn(func(w *Thread) { w.Work(40_000) })
+		th.Work(20_000)
+		th.Join(w)
+	})
+	if len(rec.Intervals) == 0 {
+		t.Fatal("no intervals recorded")
+	}
+	if rec.BusyCycles() != st.BusyCycles {
+		t.Fatalf("recorder busy %d != stats busy %d", rec.BusyCycles(), st.BusyCycles)
+	}
+	if rec.Makespan() != end {
+		t.Fatalf("recorder makespan %d != run end %d", rec.Makespan(), end)
+	}
+}
+
+// TestRecorderIntervalsDisjointPerCore: a core never runs two slices at
+// once.
+func TestRecorderIntervalsDisjointPerCore(t *testing.T) {
+	rec := &Recorder{}
+	RunTraced(cfg(2), rec, func(th *Thread) {
+		var ws []*Thread
+		for i := 0; i < 6; i++ {
+			n := clock.Cycles(15_000 + 5_000*i)
+			ws = append(ws, th.Spawn(func(w *Thread) { w.Work(n) }))
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+	})
+	for core, list := range rec.PerCore() {
+		sorted := sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Start < list[j].Start })
+		if !sorted {
+			t.Fatalf("core %d: PerCore not sorted", core)
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i].Start < list[i-1].End {
+				t.Fatalf("core %d: overlapping slices %+v and %+v", core, list[i-1], list[i])
+			}
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec := &Recorder{}
+	RunTraced(cfg(2), rec, func(th *Thread) {
+		w := th.Spawn(func(w *Thread) { w.Work(50_000) })
+		th.Work(50_000)
+		th.Join(w)
+	})
+	var b strings.Builder
+	if err := rec.Gantt(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "core  0") || !strings.Contains(out, "core  1") {
+		t.Fatalf("missing core rows:\n%s", out)
+	}
+	// Both threads appear; no idle-only rows for a fully busy run.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Fatalf("thread glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 cores:\n%s", len(lines), out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&Recorder{}).Gantt(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty") {
+		t.Fatalf("empty timeline output: %q", b.String())
+	}
+}
+
+func TestThreadGlyphs(t *testing.T) {
+	if threadGlyph(3) != '3' || threadGlyph(10) != 'a' || threadGlyph(35) != 'z' || threadGlyph(99) != '#' {
+		t.Fatal("glyph mapping wrong")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	rec := &Recorder{}
+	RunTraced(cfg(2), rec, func(th *Thread) {
+		w := th.Spawn(func(w *Thread) { w.Work(50_000) })
+		th.Work(100_000) // core 0 fully busy; core 1 half busy
+		th.Join(w)
+	})
+	u := rec.Utilization()
+	if u[0] < 0.99 {
+		t.Fatalf("core 0 utilization = %.2f, want ~1", u[0])
+	}
+	if u[1] < 0.45 || u[1] > 0.55 {
+		t.Fatalf("core 1 utilization = %.2f, want ~0.5", u[1])
+	}
+	if len((&Recorder{}).Utilization()) != 0 {
+		t.Fatal("empty recorder should have no utilization")
+	}
+}

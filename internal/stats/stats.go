@@ -1,0 +1,86 @@
+// Package stats computes the error statistics the paper reports for its
+// validation experiments (§VII-B: average and maximum error ratios,
+// fractions within an error bound).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RelErr returns |pred-real| / real (0 when real is 0 and pred is 0, 1
+// when real is 0 and pred is not).
+func RelErr(pred, real float64) float64 {
+	if real == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(pred-real) / math.Abs(real)
+}
+
+// Accumulator aggregates prediction-vs-reality pairs.
+type Accumulator struct {
+	n        int
+	sumErr   float64
+	maxErr   float64
+	pairs    [][2]float64
+	keepData bool
+}
+
+// NewAccumulator returns an accumulator; keepData retains the raw pairs
+// (needed to regenerate scatter plots like Fig. 11).
+func NewAccumulator(keepData bool) *Accumulator {
+	return &Accumulator{keepData: keepData}
+}
+
+// Add records one (predicted, real) pair.
+func (a *Accumulator) Add(pred, real float64) {
+	e := RelErr(pred, real)
+	a.n++
+	a.sumErr += e
+	if e > a.maxErr {
+		a.maxErr = e
+	}
+	if a.keepData {
+		a.pairs = append(a.pairs, [2]float64{pred, real})
+	}
+}
+
+// N returns the number of pairs recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// AvgErr returns the mean relative error.
+func (a *Accumulator) AvgErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumErr / float64(a.n)
+}
+
+// MaxErr returns the worst relative error.
+func (a *Accumulator) MaxErr() float64 { return a.maxErr }
+
+// FracWithin returns the fraction of pairs whose relative error is at most
+// tol (requires keepData).
+func (a *Accumulator) FracWithin(tol float64) float64 {
+	if len(a.pairs) == 0 {
+		return 0
+	}
+	in := 0
+	for _, p := range a.pairs {
+		if RelErr(p[0], p[1]) <= tol {
+			in++
+		}
+	}
+	return float64(in) / float64(len(a.pairs))
+}
+
+// Pairs returns the recorded (pred, real) pairs (nil unless keepData).
+func (a *Accumulator) Pairs() [][2]float64 { return a.pairs }
+
+// String summarizes like the paper: "avg 4.0% max 23.0% (n=300)".
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("avg %.1f%% max %.1f%% (n=%d)", 100*a.AvgErr(), 100*a.MaxErr(), a.n)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(1.1, 1.0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %g", got)
+	}
+	if got := RelErr(0.9, 1.0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr symmetric low = %g", got)
+	}
+	if RelErr(0, 0) != 0 || RelErr(1, 0) != 1 {
+		t.Fatal("zero-real handling wrong")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator(true)
+	a.Add(1.0, 1.0) // 0%
+	a.Add(1.2, 1.0) // 20%
+	a.Add(2.0, 1.0) // 100%
+	if a.N() != 3 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.AvgErr()-0.4) > 1e-12 {
+		t.Fatalf("avg = %g, want 0.4", a.AvgErr())
+	}
+	if a.MaxErr() != 1.0 {
+		t.Fatalf("max = %g", a.MaxErr())
+	}
+	if got := a.FracWithin(0.25); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("within 25%% = %g", got)
+	}
+	if len(a.Pairs()) != 3 {
+		t.Fatal("pairs not kept")
+	}
+	if !strings.Contains(a.String(), "n=3") {
+		t.Fatalf("String: %s", a)
+	}
+}
+
+func TestAccumulatorNoData(t *testing.T) {
+	a := NewAccumulator(false)
+	if a.AvgErr() != 0 || a.FracWithin(1) != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	a.Add(1, 2)
+	if a.Pairs() != nil {
+		t.Fatal("pairs kept despite keepData=false")
+	}
+}
+
+// Property: AvgErr <= MaxErr, both non-negative.
+func TestAccumulatorInvariants(t *testing.T) {
+	f := func(preds []float64) bool {
+		a := NewAccumulator(false)
+		for _, p := range preds {
+			// Map into a sane prediction range; astronomically
+			// large inputs would overflow the error sum.
+			v := math.Mod(math.Abs(p), 100)
+			a.Add(v, 1.0)
+		}
+		return a.AvgErr() >= 0 && a.AvgErr() <= a.MaxErr()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

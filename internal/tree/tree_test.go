@@ -1,0 +1,235 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/clock"
+)
+
+// figure4 builds the exact program tree of Fig. 4 in the paper: a top-level
+// section ("loop1", 300 cycles) of two iterations with a lock, where the
+// second iteration contains a nested section ("loop2", 190 cycles) of four
+// iterations of 50/50/50/40 cycles:
+//
+//	Sec 300
+//	├── Task 50   = U10 L20 U20
+//	└── Task 250  = U25 L25 Sec190(50,50,50,40) U10
+func figure4() *Node {
+	inner := NewSec("loop2",
+		NewTask("t2", NewU(50)),
+		NewTask("t2", NewU(50)),
+		NewTask("t2", NewU(50)),
+		NewTask("t2", NewU(40)),
+	)
+	it0 := NewTask("t1", NewU(10), NewL(1, 20), NewU(20))
+	it1 := NewTask("t1", NewU(25), NewL(1, 25), inner, NewU(10))
+	return NewRoot(NewSec("loop1", it0, it1))
+}
+
+func TestFigure4TreeTotals(t *testing.T) {
+	root := figure4()
+	if err := root.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	secs := root.TopLevelSections()
+	if len(secs) != 1 {
+		t.Fatalf("top-level sections = %d, want 1", len(secs))
+	}
+	sec := secs[0]
+	if got, want := sec.TotalLen(), clock.Cycles(300); got != want {
+		t.Errorf("Sec total = %d, want %d (paper Fig. 4)", got, want)
+	}
+	if got := sec.Children[1].TotalLen(); got != 250 {
+		t.Errorf("middle Task total = %d, want 250", got)
+	}
+	// The nested section is 190 cycles (50+50+50+40).
+	inner := sec.Children[1].Children[2]
+	if inner.Kind != Sec {
+		t.Fatalf("expected nested Sec, got %v", inner.Kind)
+	}
+	if got := inner.TotalLen(); got != 190 {
+		t.Errorf("nested Sec total = %d, want 190", got)
+	}
+	if got := sec.Tasks(); got != 2 {
+		t.Errorf("Tasks() = %d, want 2", got)
+	}
+	if got := inner.Tasks(); got != 4 {
+		t.Errorf("inner Tasks() = %d, want 4", got)
+	}
+}
+
+func TestRepeatSemantics(t *testing.T) {
+	// A run of 5 identical tasks of 100 cycles compressed into Repeat=5.
+	task := NewTask("t", NewU(100))
+	task.Repeat = 5
+	sec := NewSec("s", task)
+	if got := sec.TotalLen(); got != 500 {
+		t.Errorf("TotalLen with repeat = %d, want 500", got)
+	}
+	if got := sec.Tasks(); got != 5 {
+		t.Errorf("Tasks with repeat = %d, want 5", got)
+	}
+	phys, logical := sec.NodeCount()
+	if phys != 3 { // Sec + Task + U
+		t.Errorf("physical nodes = %d, want 3", phys)
+	}
+	if logical != 11 { // Sec + 5*(Task+U)
+		t.Errorf("logical nodes = %d, want 11", logical)
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		root *Node
+	}{
+		{"task under root", NewRoot(NewTask("t"))},
+		{"u under sec", NewRoot(&Node{Kind: Sec, Children: []*Node{NewU(1)}})},
+		{"sec under sec", NewRoot(&Node{Kind: Sec, Children: []*Node{NewSec("x")}})},
+		{"u with children", NewRoot(NewSec("s", NewTask("t", &Node{Kind: U, Children: []*Node{NewU(1)}})))},
+		{"negative len", NewRoot(NewSec("s", NewTask("t", NewU(-5))))},
+	}
+	for _, c := range cases {
+		if err := c.root.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid tree", c.name)
+		}
+	}
+}
+
+func TestValidateWantsRoot(t *testing.T) {
+	if err := NewSec("s").Validate(); err == nil {
+		t.Fatal("Validate on non-root should fail")
+	}
+}
+
+func TestSerialOutsideSections(t *testing.T) {
+	root := NewRoot(NewU(40), NewSec("s", NewTask("t", NewU(60))), NewU(10))
+	if got := root.SerialOutsideSections(); got != 50 {
+		t.Errorf("SerialOutsideSections = %d, want 50", got)
+	}
+	if got := root.TotalLen(); got != 110 {
+		t.Errorf("TotalLen = %d, want 110", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	root := figure4()
+	sec := root.TopLevelSections()[0]
+	sec.Burden = map[int]float64{2: 1.2}
+	cp := root.Clone()
+	// Mutate the original; the clone must not change.
+	sec.Children[0].Children[0].Len = 999
+	sec.Burden[2] = 9
+	csec := cp.TopLevelSections()[0]
+	if csec.Children[0].Children[0].Len != 10 {
+		t.Error("clone shares U node with original")
+	}
+	if csec.Burden[2] != 1.2 {
+		t.Error("clone shares burden map with original")
+	}
+	if !Equal(cp, figure4(), 0) {
+		t.Error("clone not structurally equal to pristine tree")
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := NewRoot(NewSec("s", NewTask("t", NewU(100))))
+	b := NewRoot(NewSec("s", NewTask("t", NewU(104))))
+	if Equal(a, b, 0) {
+		t.Error("exact Equal should fail on 100 vs 104")
+	}
+	if !Equal(a, b, 0.05) {
+		t.Error("5%% tolerance should accept 100 vs 104")
+	}
+	if Equal(a, b, 0.01) {
+		t.Error("1%% tolerance should reject 100 vs 104")
+	}
+	c := NewRoot(NewSec("s", NewTask("t", NewL(1, 100))))
+	if Equal(a, c, 1) {
+		t.Error("kind mismatch must never be equal")
+	}
+}
+
+func TestBurdenFor(t *testing.T) {
+	n := NewSec("s")
+	if got := n.BurdenFor(4); got != 1 {
+		t.Errorf("unassigned burden = %g, want 1", got)
+	}
+	n.Burden = map[int]float64{4: 1.4, 8: 0.5 /* invalid, below 1 */}
+	if got := n.BurdenFor(4); got != 1.4 {
+		t.Errorf("burden(4) = %g, want 1.4", got)
+	}
+	if got := n.BurdenFor(8); got != 1 {
+		t.Errorf("burden(8) with invalid value = %g, want clamp to 1", got)
+	}
+	var nilNode *Node
+	if got := nilNode.BurdenFor(2); got != 1 {
+		t.Errorf("nil node burden = %g, want 1", got)
+	}
+}
+
+func TestStringRendersStructure(t *testing.T) {
+	s := figure4().String()
+	for _, want := range []string{"Root", "Sec \"loop1\"", "L 25 lock=1", "Sec \"loop2\"", "U 40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestWalkPreOrderAndPrune(t *testing.T) {
+	root := figure4()
+	var kinds []Kind
+	root.Walk(func(n *Node) bool {
+		kinds = append(kinds, n.Kind)
+		return n.Kind != Sec || n.Name != "loop2" // prune inner section
+	})
+	// No inner-section tasks should appear after pruning.
+	innerTasks := 0
+	for i, k := range kinds {
+		if k == Task && i > 0 && kinds[i-1] == Sec {
+			_ = i
+		}
+		_ = k
+	}
+	_ = innerTasks
+	if kinds[0] != Root || kinds[1] != Sec {
+		t.Fatalf("pre-order violated: %v", kinds[:2])
+	}
+	// Full walk visits 16 physical nodes; pruned walk must visit fewer.
+	full := 0
+	root.Walk(func(*Node) bool { full++; return true })
+	if len(kinds) >= full {
+		t.Errorf("prune did not skip children: pruned=%d full=%d", len(kinds), full)
+	}
+}
+
+// Property: TotalLen is invariant under Clone, and NodeCount logical >= physical.
+func TestTreeProperties(t *testing.T) {
+	f := func(lens []uint16, rep uint8) bool {
+		if len(lens) == 0 {
+			lens = []uint16{1}
+		}
+		var tasks []*Node
+		for _, l := range lens {
+			tk := NewTask("t", NewU(clock.Cycles(l)))
+			tk.Repeat = int(rep%7) + 1
+			tasks = append(tasks, tk)
+		}
+		root := NewRoot(NewSec("s", tasks...))
+		if root.Validate() != nil {
+			return false
+		}
+		cp := root.Clone()
+		if cp.TotalLen() != root.TotalLen() {
+			return false
+		}
+		p, l := root.NodeCount()
+		return l >= p && p > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,450 @@
+package workloads
+
+import (
+	"prophet/internal/counters"
+	"prophet/internal/kernels"
+	"prophet/internal/omprt"
+	"prophet/internal/synth"
+	"prophet/internal/trace"
+)
+
+// This file models the paper's eight §VII-C benchmarks as annotated
+// programs. Loop structures and trip counts mirror the real kernels in
+// internal/kernels; per-task costs are instruction-cycle counts for the
+// kernel's inner loops plus LLC-miss counts for the arrays the loop
+// streams (zero when the working set fits the 12 MB LLC).
+//
+// Input scales (vs. the paper's): MD 8192→512 particles, LU 3072→512,
+// FFT 2048²-point→2²⁰-point, QSort to 2¹⁷ elements, EP class B→192
+// batches, FT 'B' (850 MB)→128³ (32 MB), CG 'B' (400 MB)→80k rows
+// (≈16 MB), MG 'B' (470 MB)→129³ (17 MB), IS 'B'→2²² keys (32 MB).
+// The memory-bound benchmarks stay above the 12 MB LLC, the compute-bound
+// ones below — preserving each benchmark's class and therefore the shape
+// of Fig. 12.
+
+// NewMD models OmpSCR MD: per time step, one parallel force loop with one
+// task per particle (each O(N) work), then a serial position update.
+func NewMD() *Workload {
+	const (
+		n         = 512
+		steps     = 4
+		cPair     = 24 // cycles per pair interaction
+		cUpdate   = 12 // cycles per particle update
+		footprint = n * 72
+	)
+	prog := func(ctx trace.Context) {
+		for s := 0; s < steps; s++ {
+			ctx.SecBegin("forces")
+			for i := 0; i < n; i++ {
+				ctx.TaskBegin("force")
+				ctx.Compute(int64(n*cPair), streamMisses(n*24, footprint))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+			ctx.Compute(int64(n*cUpdate), 0)
+		}
+	}
+	return &Workload{
+		Name:           "MD-OMP",
+		Desc:           "OmpSCR molecular dynamics, 512 particles, 4 steps (paper: 8192/20MB)",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewLU models OmpSCR LU reduction, the paper's Fig. 1(a): the outer pivot
+// loop is serial; for each pivot column the inner row-elimination loop is
+// a parallel section whose per-task work shrinks as k grows — the
+// inner-loop-parallelism and workload-imbalance case.
+func NewLU() *Workload {
+	const (
+		size      = 512
+		cElim     = 30 // cycles per updated element (divide+mul+sub, loads)
+		footprint = size * size * 8
+	)
+	prog := func(ctx trace.Context) {
+		for k := 0; k < size-1; k++ {
+			rowLen := size - k - 1
+			if rowLen == 0 {
+				continue
+			}
+			ctx.SecBegin("elim")
+			for i := k + 1; i < size; i++ {
+				ctx.TaskBegin("row")
+				bytes := int64(2 * rowLen * 8)
+				ctx.Compute(int64(rowLen*cElim), streamMisses(bytes, footprint))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+		}
+	}
+	return &Workload{
+		Name:           "LU-OMP",
+		Desc:           "OmpSCR LU reduction, 512x512 (paper: 3072/54MB); inner-loop parallelism",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic1,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewFFT models OmpSCR FFT in its Cilk Plus form (the paper's Fig. 1(b)):
+// two recursive half-size transforms (spawnable tasks) followed by a
+// parallel combine loop. The 2²⁰-point complex signal (16 MB) exceeds the
+// LLC, so the top combine levels stream memory.
+func NewFFT() *Workload {
+	const (
+		n         = 1 << 20
+		leaf      = 1 << 12
+		chunk     = 1 << 12
+		cComb     = 8 // cycles per point in the combine loop
+		cLeaf     = 5 // cycles per point·log(point) at the leaves
+		footprint = n * 16
+	)
+	var rec func(ctx trace.Context, size int)
+	rec = func(ctx trace.Context, size int) {
+		if size <= leaf {
+			logs := 0
+			for 1<<logs < size {
+				logs++
+			}
+			ctx.Compute(int64(size*logs*cLeaf), streamMisses(int64(size*16), footprint))
+			return
+		}
+		// cilk_spawn FFT(half); FFT(half); cilk_sync;
+		ctx.SecBegin("fft-split")
+		ctx.TaskBegin("half")
+		rec(ctx, size/2)
+		ctx.TaskEnd()
+		ctx.TaskBegin("half")
+		rec(ctx, size/2)
+		ctx.TaskEnd()
+		ctx.SecEnd(false)
+		// cilk_for combine loop over size/2 points.
+		ctx.SecBegin("fft-combine")
+		for lo := 0; lo < size/2; lo += chunk {
+			hi := lo + chunk
+			if hi > size/2 {
+				hi = size / 2
+			}
+			pts := hi - lo
+			ctx.TaskBegin("comb")
+			// Each point reads/writes both halves: 32 B of
+			// complex data per point, twice.
+			ctx.Compute(int64(pts*cComb), streamMisses(int64(pts*64), footprint))
+			ctx.TaskEnd()
+		}
+		ctx.SecEnd(false)
+	}
+	prog := func(ctx trace.Context) {
+		// Top-level sections only: wrap the whole recursive transform
+		// in one task of one section so the tree stays Root->Sec.
+		ctx.SecBegin("fft")
+		ctx.TaskBegin("root")
+		rec(ctx, n)
+		ctx.TaskEnd()
+		ctx.SecEnd(false)
+	}
+	return &Workload{
+		Name:           "FFT-Cilk",
+		Desc:           "OmpSCR FFT (Cilk Plus), 2^20 points / 16MB (paper: 2048/118MB); recursive + nested",
+		Paradigm:       synth.Cilk,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewQSort models OmpSCR QSort in Cilk form: the annotated program runs
+// the real median-of-three partition from internal/kernels on a
+// deterministic input, so the recursion tree carries authentic
+// data-dependent imbalance.
+func NewQSort() *Workload {
+	const (
+		n         = 1 << 17
+		cutoff    = 512
+		cPart     = 7 // cycles per element partitioned
+		cLeafSort = 9 // cycles per element in the insertion/leaf sort
+		footprint = n * 8
+	)
+	prog := func(ctx trace.Context) {
+		data := kernels.RandomSlice(n, 20120523)
+		var rec func(ctx trace.Context, s []float64)
+		rec = func(ctx trace.Context, s []float64) {
+			if len(s) <= cutoff {
+				ctx.Compute(int64(len(s)*cLeafSort), streamMisses(int64(len(s)*8), footprint))
+				return
+			}
+			p := kernels.Partition(s)
+			ctx.Compute(int64(len(s)*cPart), streamMisses(int64(len(s)*8), footprint))
+			ctx.SecBegin("qsort-halves")
+			ctx.TaskBegin("lo")
+			rec(ctx, s[:p])
+			ctx.TaskEnd()
+			ctx.TaskBegin("hi")
+			rec(ctx, s[p+1:])
+			ctx.TaskEnd()
+			ctx.SecEnd(false)
+		}
+		ctx.SecBegin("qsort")
+		ctx.TaskBegin("root")
+		rec(ctx, data)
+		ctx.TaskEnd()
+		ctx.SecEnd(false)
+	}
+	return &Workload{
+		Name:           "QSort-Cilk",
+		Desc:           "OmpSCR quicksort (Cilk Plus), 2^17 elements / 1MB (paper: 2048/4MB); recursive",
+		Paradigm:       synth.Cilk,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewEP models NPB EP: independent random-number batches, embarrassingly
+// parallel, negligible memory traffic.
+func NewEP() *Workload {
+	const (
+		batches   = 192
+		batchSize = 4096
+		cPair     = 55 // cycles per generated pair (LCG + polar transform)
+	)
+	prog := func(ctx trace.Context) {
+		ctx.SecBegin("ep")
+		for b := 0; b < batches; b++ {
+			ctx.TaskBegin("batch")
+			ctx.Compute(int64(batchSize*cPair), 0)
+			ctx.TaskEnd()
+		}
+		ctx.SecEnd(false)
+		// Serial merge of the partial histograms.
+		ctx.Compute(int64(batches*40), 0)
+	}
+	return &Workload{
+		Name:           "NPB-EP",
+		Desc:           "NPB EP, 192 batches x 4096 pairs (paper: class B/7MB); embarrassingly parallel",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic,
+		Program:        prog,
+		FootprintBytes: 1 << 20,
+	}
+}
+
+// NewFT models NPB FT: a 3-D FFT per step — three parallel line-transform
+// sections (the y/z passes stride badly and stream the 32 MB grid) plus a
+// pointwise evolve section. Bandwidth-bound: the paper's Fig. 2.
+func NewFT() *Workload {
+	const (
+		n         = 128
+		steps     = 2
+		cLine     = 1 * 7 * n // cycles per line FFT: n·log2(n)·1 (strided FFTs are load-dominated)
+		cEvolve   = 4         // cycles per point
+		footprint = int64(n) * n * n * 16
+	)
+	prog := func(ctx trace.Context) {
+		for s := 0; s < steps; s++ {
+			for dim, name := range []string{"ft-x", "ft-y", "ft-z"} {
+				ctx.SecBegin(name)
+				for l := 0; l < n*n; l++ {
+					// The x pass walks unit-stride lines
+					// (2 KB each, 32 line fetches); the
+					// strided y/z passes touch one cache
+					// line per element.
+					misses := int64(n * 16 / counters.LineSize)
+					if dim > 0 {
+						misses = n
+					}
+					ctx.TaskBegin("line")
+					ctx.Compute(int64(cLine), misses)
+					ctx.TaskEnd()
+				}
+				ctx.SecEnd(false)
+			}
+			ctx.SecBegin("ft-evolve")
+			for z := 0; z < n; z++ {
+				ctx.TaskBegin("plane")
+				ctx.Compute(int64(n*n*cEvolve), streamMisses(int64(n*n*16), footprint))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+		}
+	}
+	return &Workload{
+		Name:           "NPB-FT",
+		Desc:           "NPB FT, 128^3 grid / 32MB (paper: B/850MB); bandwidth-bound 3-D FFT",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewCG models NPB CG: per iteration one sparse mat-vec over row blocks
+// (streaming the CSR arrays), two reduction-style dot products and three
+// vector updates. The ~14 MB matrix does not fit the LLC.
+func NewCG() *Workload {
+	const (
+		rows      = 80_000
+		nnzPerRow = 14
+		blocks    = 160
+		iters     = 20
+		cMul      = 4 // cycles per multiply-add in SpMV
+		cVec      = 4 // cycles per element in dot/axpy
+	)
+	footprint := int64(rows*nnzPerRow*12 + 4*rows*8) // vals+cols + vectors
+	rowsPerBlock := rows / blocks
+	prog := func(ctx trace.Context) {
+		for it := 0; it < iters; it++ {
+			// q = A·p
+			ctx.SecBegin("cg-spmv")
+			for b := 0; b < blocks; b++ {
+				nnz := rowsPerBlock * nnzPerRow
+				bytes := int64(nnz * 12) // 8B value + 4B column index
+				ctx.TaskBegin("rows")
+				ctx.Compute(int64(nnz*cMul), streamMisses(bytes, footprint))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+			// Two dot products (parallel partial sums + serial
+			// combine).
+			for d := 0; d < 2; d++ {
+				ctx.SecBegin("cg-dot")
+				for b := 0; b < blocks; b++ {
+					ctx.TaskBegin("dot")
+					ctx.Compute(int64(rowsPerBlock*cVec), streamMisses(int64(rowsPerBlock*16), footprint))
+					ctx.TaskEnd()
+				}
+				ctx.SecEnd(false)
+				ctx.Compute(int64(blocks*8), 0)
+			}
+			// Three axpy-style vector updates.
+			ctx.SecBegin("cg-axpy")
+			for b := 0; b < blocks; b++ {
+				ctx.TaskBegin("axpy")
+				ctx.Compute(int64(3*rowsPerBlock*cVec), streamMisses(int64(3*rowsPerBlock*24), footprint))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+		}
+	}
+	return &Workload{
+		Name:           "NPB-CG",
+		Desc:           "NPB CG, 80k rows x 14 nnz / 16MB (paper: B/400MB); bandwidth-bound SpMV",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewIS models NPB IS (integer sort): per ranking iteration, a parallel
+// counting loop over key blocks (streaming reads, private histograms), a
+// serial histogram merge, and a parallel rank-assignment loop whose
+// random scatter writes miss on nearly every key. IS is the paper's
+// §VI-B stress case: its tree was the largest before compression (10 GB)
+// precisely because the many block tasks are nearly identical — which is
+// also why it compresses almost entirely.
+func NewIS() *Workload {
+	const (
+		n       = 1 << 22 // keys: 16 MB of int32, beyond the LLC
+		iters   = 10
+		blocks  = 256
+		cCount  = 3       // cycles per key counted
+		cRank   = 5       // cycles per key ranked
+		maxKeyB = 1 << 18 // histogram bytes (fits the LLC)
+	)
+	footprint := int64(n * 4 * 2) // keys + ranks
+	keysPerBlock := n / blocks
+	prog := func(ctx trace.Context) {
+		for it := 0; it < iters; it++ {
+			ctx.SecBegin("is-count")
+			for b := 0; b < blocks; b++ {
+				ctx.TaskBegin("count")
+				// Stream the key block; the private histogram
+				// stays cache-resident.
+				ctx.Compute(int64(keysPerBlock*cCount), streamMisses(int64(keysPerBlock*4), footprint))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+			// Serial merge of private histograms + prefix sum.
+			ctx.Compute(int64(blocks*maxKeyB/1024), 0)
+			ctx.SecBegin("is-rank")
+			for b := 0; b < blocks; b++ {
+				ctx.TaskBegin("rank")
+				// Read the keys (streaming) and scatter the
+				// ranks: random writes into a 16 MB array miss
+				// on almost every key.
+				ctx.Compute(int64(keysPerBlock*cRank),
+					streamMisses(int64(keysPerBlock*4), footprint)+int64(keysPerBlock))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+		}
+	}
+	return &Workload{
+		Name:           "NPB-IS",
+		Desc:           "NPB IS, 2^22 keys / 32MB (paper: B, 10GB tree pre-compression); scatter-bound",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}
+
+// NewMG models NPB MG: multigrid V-cycles whose smoothing sweeps are
+// parallel plane loops; the finest level (129³, 17 MB) streams memory,
+// the coarser levels fit the LLC.
+func NewMG() *Workload {
+	const (
+		n        = 129
+		vcycles  = 2
+		cStencil = 10 // cycles per 7-point stencil update
+	)
+	footprint := int64(n) * n * n * 8
+	sweepSec := func(ctx trace.Context, level int, sweeps int) {
+		size := n
+		for l := 0; l < level; l++ {
+			size = (size + 1) / 2
+		}
+		if size < 3 {
+			return
+		}
+		ws := int64(size) * int64(size) * int64(size) * 8
+		for s := 0; s < sweeps; s++ {
+			ctx.SecBegin("mg-sweep")
+			for z := 1; z < size-1; z++ {
+				planeBytes := int64(4 * size * size * 8)
+				ctx.TaskBegin("plane")
+				ctx.Compute(int64(size*size*cStencil), streamMisses(planeBytes, ws))
+				ctx.TaskEnd()
+			}
+			ctx.SecEnd(false)
+		}
+	}
+	prog := func(ctx trace.Context) {
+		levels := 0
+		for s := n; s >= 3; s = (s + 1) / 2 {
+			levels++
+		}
+		for v := 0; v < vcycles; v++ {
+			// Down-sweep: smooth + residual/restrict per level.
+			for l := 0; l < levels; l++ {
+				sweepSec(ctx, l, 3)
+				sweepSec(ctx, l, 1) // residual+restrict sweep
+			}
+			// Up-sweep: prolong + smooth.
+			for l := levels - 1; l >= 0; l-- {
+				sweepSec(ctx, l, 3)
+			}
+		}
+	}
+	return &Workload{
+		Name:           "NPB-MG",
+		Desc:           "NPB MG, 129^3 / 17MB (paper: B/470MB); multigrid V-cycles",
+		Paradigm:       synth.OpenMP,
+		Sched:          omprt.SchedStatic,
+		Program:        prog,
+		FootprintBytes: footprint,
+	}
+}

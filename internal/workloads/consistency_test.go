@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"testing"
+
+	"prophet/internal/kernels"
+	"prophet/internal/tree"
+)
+
+// These tests pin the workload cost models to the real kernels they are
+// derived from: same loop structures, same trip counts, same recursion
+// shapes — so the annotated programs can't silently drift away from the
+// code they claim to model.
+
+// TestLUWorkloadMatchesKernelLoopNest: the LU workload must have exactly
+// the trip counts of kernels.LUDecompose's loop nest.
+func TestLUWorkloadMatchesKernelLoopNest(t *testing.T) {
+	// From the kernel: for k in [0, n-1), the inner parallel loop runs
+	// over i in (k, n) — size-1 sections with n-1-k tasks each.
+	const size = 512 // must match bench.go's LU size
+	w, _ := ByName("LU-OMP")
+	root := profile(t, w.Program)
+	secs := root.TopLevelSections()
+	if len(secs) != size-1 {
+		t.Fatalf("sections = %d, want %d", len(secs), size-1)
+	}
+	for k, sec := range secs {
+		want := size - 1 - k
+		if got := sec.Tasks(); got != want {
+			t.Fatalf("pivot %d: tasks = %d, want %d", k, got, want)
+		}
+	}
+	// And the kernel itself factors correctly at a smaller size (the
+	// structure the model mirrors is real, working code).
+	a := kernels.NewDiagonallyDominant(32, 9)
+	orig := a.Clone()
+	if err := kernels.LUDecompose(a); err != nil {
+		t.Fatal(err)
+	}
+	if d := kernels.MaxAbsDiff(orig, kernels.LUReconstruct(a)); d > 1e-9 {
+		t.Fatalf("kernel LU wrong by %g", d)
+	}
+}
+
+// TestQSortWorkloadMatchesKernelRecursion: the workload runs the real
+// partition function, so its split tree must match the kernel's recursion
+// profile on the same input.
+func TestQSortWorkloadMatchesKernelRecursion(t *testing.T) {
+	const (
+		n      = 1 << 17
+		cutoff = 512
+		seed   = 20120523
+	)
+	// Kernel-side: recursion profile with the same cutoff.
+	data := kernels.RandomSlice(n, seed)
+	var kernelSplits []int
+	var rec func(s []float64)
+	rec = func(s []float64) {
+		if len(s) <= cutoff {
+			return
+		}
+		p := kernels.Partition(s)
+		kernelSplits = append(kernelSplits, len(s))
+		rec(s[:p])
+		rec(s[p+1:])
+	}
+	rec(data)
+
+	// Workload-side: count nested split sections.
+	w, _ := ByName("QSort-Cilk")
+	root := profile(t, w.Program)
+	splits := 0
+	root.Walk(func(nd *tree.Node) bool {
+		if nd.Kind == tree.Sec && nd.Name == "qsort-halves" {
+			splits += nd.Reps()
+		}
+		return true
+	})
+	if splits != len(kernelSplits) {
+		t.Fatalf("workload splits = %d, kernel recursion = %d", splits, len(kernelSplits))
+	}
+}
+
+// TestFTWorkloadSectionStructure: 2 steps x (3 dimension passes + evolve).
+func TestFTWorkloadSectionStructure(t *testing.T) {
+	w, _ := ByName("NPB-FT")
+	root := profile(t, w.Program)
+	counts := map[string]int{}
+	for _, sec := range root.TopLevelSections() {
+		counts[sec.Name] += sec.Reps()
+	}
+	for _, name := range []string{"ft-x", "ft-y", "ft-z", "ft-evolve"} {
+		if counts[name] != 2 {
+			t.Fatalf("%s sections = %d, want 2 (one per step)", name, counts[name])
+		}
+	}
+	// Line passes have n^2 = 16384 tasks; the strided passes carry more
+	// misses per task than the unit-stride x pass.
+	var xMiss, yMiss int64
+	for _, sec := range root.TopLevelSections() {
+		var first *tree.Node
+		for _, task := range sec.Children {
+			if task.Kind == tree.Task {
+				first = task.Children[0]
+				break
+			}
+		}
+		switch sec.Name {
+		case "ft-x":
+			if sec.Tasks() != 16384 {
+				t.Fatalf("ft-x tasks = %d", sec.Tasks())
+			}
+			xMiss = first.Mem.LLCMisses
+		case "ft-y":
+			yMiss = first.Mem.LLCMisses
+		}
+	}
+	if yMiss <= xMiss {
+		t.Fatalf("strided pass misses (%d) not above unit-stride (%d)", yMiss, xMiss)
+	}
+	// The kernel really does a correct 3-D transform (round-trip).
+	g := kernels.NewGrid3D(8)
+	g.FillDeterministic(4)
+	if err := g.FFT3D(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FFT3D(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMDWorkloadForceLoopShape: one task per particle per step, and the
+// serial update between steps matches the kernel's two-phase structure.
+func TestMDWorkloadForceLoopShape(t *testing.T) {
+	w, _ := ByName("MD-OMP")
+	root := profile(t, w.Program)
+	secs := root.TopLevelSections()
+	if len(secs) != 4 { // 4 steps
+		t.Fatalf("sections = %d, want 4", len(secs))
+	}
+	for _, sec := range secs {
+		if sec.Tasks() != 512 {
+			t.Fatalf("force tasks = %d, want 512", sec.Tasks())
+		}
+	}
+	// Serial updates between sections exist (the kernel's Update phase).
+	if root.SerialOutsideSections() == 0 {
+		t.Fatal("no serial update phases recorded")
+	}
+}
+
+// TestCGWorkloadIterationStructure: each of the 20 iterations contributes
+// one SpMV, two dots and one axpy section.
+func TestCGWorkloadIterationStructure(t *testing.T) {
+	w, _ := ByName("NPB-CG")
+	root := profile(t, w.Program)
+	counts := map[string]int{}
+	for _, sec := range root.TopLevelSections() {
+		counts[sec.Name] += sec.Reps()
+	}
+	if counts["cg-spmv"] != 20 || counts["cg-dot"] != 40 || counts["cg-axpy"] != 20 {
+		t.Fatalf("section counts = %v", counts)
+	}
+}
+
+// TestMGWorkloadLevelsShrink: sweep sections exist for multiple grid
+// levels with shrinking task counts (plane counts).
+func TestMGWorkloadLevelsShrink(t *testing.T) {
+	w, _ := ByName("NPB-MG")
+	root := profile(t, w.Program)
+	sizes := map[int]bool{}
+	for _, sec := range root.TopLevelSections() {
+		if sec.Name == "mg-sweep" {
+			sizes[sec.Tasks()] = true
+		}
+	}
+	// 129 -> plane loops of 127, 63, 31, 15, 7, 3 (levels >= 5 points).
+	for _, want := range []int{127, 63, 31, 15} {
+		if !sizes[want] {
+			t.Fatalf("missing sweep level with %d planes (have %v)", want, sizes)
+		}
+	}
+}

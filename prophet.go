@@ -1,0 +1,208 @@
+// Package prophet is a Go reproduction of Parallel Prophet (Kim, Kumar,
+// Kim, Brett — "Predicting Potential Speedup of Serial Code via
+// Lightweight Profiling and Emulations with Memory Performance Model",
+// IPDPS 2012): it predicts the parallel speedup of an *annotated serial
+// program* before anyone writes parallel code.
+//
+// # Workflow (the paper's Fig. 3)
+//
+//  1. Write the serial program against prophet.Context, wrapping
+//     potentially parallel loops in SecBegin/SecEnd, their iterations in
+//     TaskBegin/TaskEnd, and protected regions in LockBegin/LockEnd
+//     (Table II of the paper). Computation goes through Compute with an
+//     (instruction-cycles, LLC-misses) cost.
+//  2. ProfileProgram runs the program serially under interval profiling,
+//     builds and compresses the program tree, collects per-section
+//     counters and calibrates the memory performance model (burden
+//     factors β_t).
+//  3. Estimate emulates the parallel behaviour for a chosen method (the
+//     fast-forwarding emulator or the program-synthesis emulator),
+//     threading paradigm (OpenMP or Cilk), schedule and thread count, and
+//     returns the predicted speedup.
+//
+// The "machine" is a deterministic discrete-event simulation of a
+// 12-core, two-socket Westmere-class system (internal/sim), standing in
+// for the paper's testbed; see DESIGN.md for the substitution table.
+package prophet
+
+import (
+	"sort"
+	"sync"
+
+	"prophet/internal/clock"
+	"prophet/internal/compress"
+	"prophet/internal/counters"
+	"prophet/internal/memmodel"
+	"prophet/internal/sim"
+	"prophet/internal/trace"
+	"prophet/internal/tree"
+)
+
+// Options configures profiling and prediction.
+type Options struct {
+	// Machine is the simulated target machine. The zero value is the
+	// paper's 12-core configuration.
+	Machine sim.Config
+	// ThreadCounts are the CPU counts predictions will be requested for;
+	// the memory model assigns one burden factor per count. Default:
+	// 2, 4, 6, 8, 10, 12 (the paper's x-axis).
+	ThreadCounts []int
+	// CompressTolerance is the program-tree compression tolerance
+	// (default 0.05, the paper's 5%; negative disables compression).
+	CompressTolerance float64
+	// MaxTreeNodes, when > 0, arms the lossy compression fallback.
+	MaxTreeNodes int64
+	// MemModel overrides the memory performance model; nil selects a
+	// model calibrated against Machine (cached per machine config).
+	MemModel *memmodel.Model
+	// DisableMemoryModel skips calibration and burden assignment
+	// entirely (every estimate behaves as MemoryModel: false).
+	DisableMemoryModel bool
+	// AverageBurdensByName applies the paper's exact §V policy: burden
+	// factors of same-named top-level sections are averaged across their
+	// dynamic executions. The default assigns per-execution factors,
+	// which is strictly finer-grained.
+	AverageBurdensByName bool
+}
+
+// DefaultThreadCounts is the paper's evaluation grid.
+func DefaultThreadCounts() []int { return []int{2, 4, 6, 8, 10, 12} }
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if len(out.ThreadCounts) == 0 {
+		out.ThreadCounts = DefaultThreadCounts()
+	}
+	if out.CompressTolerance == 0 {
+		out.CompressTolerance = compress.DefaultTolerance
+	}
+	return out
+}
+
+// Profile is the result of profiling an annotated serial program: the
+// compressed program tree with per-section counters and burden factors.
+type Profile struct {
+	// Tree is the program tree (Fig. 4 of the paper).
+	Tree *tree.Node
+	// Counters are the whole-run totals.
+	Counters counters.Sample
+	// Compression reports the §VI-B tree compression.
+	Compression compress.Stats
+	// Model is the memory performance model used for burden factors
+	// (nil when disabled).
+	Model *memmodel.Model
+	// SerialCycles is the profiled serial execution time.
+	SerialCycles clock.Cycles
+
+	opts Options
+}
+
+// calibrated caches one memory model per machine configuration —
+// calibration runs a microbenchmark sweep and is worth reusing.
+var calibrated sync.Map // sim.Config -> *memmodel.Model
+
+func modelFor(mc sim.Config, threads []int) (*memmodel.Model, error) {
+	key := mc.Normalized()
+	if m, ok := calibrated.Load(key); ok {
+		return m.(*memmodel.Model), nil
+	}
+	// Calibrate over a full ladder up to the core count, not just the
+	// requested thread counts: the Φ power-law fit needs several
+	// saturated operating points to be well-conditioned (§V-D).
+	ladder := map[int]bool{}
+	for _, t := range threads {
+		if t >= 2 && t <= key.Cores {
+			ladder[t] = true
+		}
+	}
+	for t := 2; t <= key.Cores; t += 2 {
+		ladder[t] = true
+	}
+	var ts []int
+	for t := range ladder {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	m, _, err := memmodel.Calibrate(key, ts)
+	if err != nil {
+		return nil, err
+	}
+	calibrated.Store(key, m)
+	return m, nil
+}
+
+// ProfileProgram profiles prog (serially, on the virtual cycle clock),
+// compresses the tree, and attaches counters and burden factors.
+func ProfileProgram(prog Program, opts *Options) (*Profile, error) {
+	o := opts.withDefaults()
+	root, prof, err := trace.Profile(prog, o.Machine.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Tree:         root,
+		Counters:     prof.Counters(),
+		SerialCycles: root.TotalLen(),
+		opts:         o,
+	}
+	if o.CompressTolerance >= 0 {
+		p.Compression = compress.Compress(root, compress.Options{
+			Tolerance: o.CompressTolerance,
+			MaxNodes:  o.MaxTreeNodes,
+		})
+	}
+	if !o.DisableMemoryModel {
+		m := o.MemModel
+		if m == nil {
+			m, err = modelFor(o.Machine, o.ThreadCounts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.Model = m
+		if o.AverageBurdensByName {
+			m.AssignBurdensAveraged(root, o.ThreadCounts)
+		} else {
+			m.AssignBurdens(root, o.ThreadCounts)
+		}
+	}
+	return p, nil
+}
+
+// CalibrateModel runs the §V-D microbenchmark against the given machine
+// and returns the fitted memory performance model (the reproduction of
+// Eq. 6/7). Results are cached per machine configuration; pass the model
+// to Options.MemModel, or marshal it to JSON for reuse across processes.
+func CalibrateModel(machine MachineConfig) (*MemModel, error) {
+	return modelFor(machine, DefaultThreadCounts())
+}
+
+// ProfileTree wraps an already-built program tree (e.g. loaded from JSON)
+// in a Profile so it can be estimated with the same API.
+func ProfileTree(root *tree.Node, opts *Options) (*Profile, error) {
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	p := &Profile{
+		Tree:         root,
+		SerialCycles: root.TotalLen(),
+		opts:         o,
+	}
+	if !o.DisableMemoryModel {
+		m := o.MemModel
+		if m == nil {
+			var err error
+			m, err = modelFor(o.Machine, o.ThreadCounts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.Model = m
+		m.AssignBurdens(root, o.ThreadCounts)
+	}
+	return p, nil
+}
