@@ -10,6 +10,10 @@
 //	ppexp -samples 300         # Fig. 11 sample count (paper: 300)
 //	ppexp -bench NPB-FT,NPB-EP # restrict Fig. 12 to some benchmarks
 //	ppexp -csv dir             # also write CSV series/scatters into dir
+//	ppexp -workers 8           # sweep worker pool (0 = GOMAXPROCS, 1 = serial)
+//
+// Experiment grids run on the internal/sweep worker pool; output is
+// byte-identical at every -workers setting.
 package main
 
 import (
@@ -34,10 +38,11 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory for CSV output")
 		markdown = flag.Bool("md", false, "render tables as GitHub markdown instead of aligned text")
 		coresArg = flag.String("cores", "", "comma-separated core counts (default 2,4,6,8,10,12)")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Samples: *samples}
+	cfg := experiments.Config{Samples: *samples, Workers: *workers}
 	if *coresArg != "" {
 		for _, p := range strings.Split(*coresArg, ",") {
 			var v int
@@ -59,6 +64,11 @@ func main() {
 	all := *fig == "" && *table == "" && !*calib
 	out := os.Stdout
 
+	// One harness for the whole invocation: figures sharing inputs
+	// (Fig. 11 / ranking samples, Fig. 12 / Table III benchmark
+	// profiles) reuse each other's cached profiles.
+	h := experiments.New(cfg)
+
 	if all || *fig == "4" {
 		fmt.Fprintln(out, "## Fig. 4 — program tree of the running example")
 		fmt.Fprintln(out)
@@ -71,8 +81,11 @@ func main() {
 		mustWrite(experiments.Fig7(cfg), out)
 	}
 	if all || *fig == "11" {
-		res := experiments.Fig11(cfg)
+		res := h.Fig11()
 		mustWrite(res.Summary, out)
+		if res.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "fig 11: %d sample cells failed\n", res.Failed)
+		}
 		if *csvDir != "" {
 			for _, c := range res.Cases {
 				writeCSV(*csvDir, "fig11-"+slug(c.Name)+".csv", c.Scatter.WriteCSV)
@@ -80,7 +93,7 @@ func main() {
 		}
 	}
 	if all || *fig == "12" || *fig == "2" {
-		series := experiments.Fig12(cfg, names)
+		series := h.Fig12(names)
 		fmt.Fprintln(out, "## Fig. 12 — benchmark predictions (the NPB-FT panel is Fig. 2)")
 		fmt.Fprintln(out)
 		for _, s := range series {
@@ -94,13 +107,13 @@ func main() {
 		mustWrite(experiments.Table1(), out)
 	}
 	if all || *table == "3" {
-		mustWrite(experiments.Table3(cfg, names), out)
+		mustWrite(h.Table3(names), out)
 	}
 	if all || *table == "overhead" {
-		mustWrite(experiments.OverheadTable(cfg, names), out)
+		mustWrite(h.OverheadTable(names), out)
 	}
 	if all || *table == "ranking" {
-		mustWrite(experiments.ScheduleRanking(cfg), out)
+		mustWrite(h.ScheduleRanking(), out)
 	}
 	if all || *calib {
 		text, series := experiments.Calibration(cfg)

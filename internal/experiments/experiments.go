@@ -2,6 +2,11 @@
 // evaluation (§III, §VII) from this reproduction's components. cmd/ppexp
 // renders them to the terminal / CSV; the top-level benchmarks time them.
 //
+// The experiment grids run on the internal/sweep worker pool (see
+// Harness): cells execute concurrently, results merge in deterministic
+// cell order, so every table and CSV is byte-identical to a serial run
+// at any worker count.
+//
 // Absolute numbers differ from the paper's (the substrate is a simulated
 // machine, not their Westmere testbed — see DESIGN.md); the assertions and
 // EXPERIMENTS.md track the *shape*: who wins, by what factor, and where
@@ -22,6 +27,7 @@ import (
 	"prophet/internal/report"
 	"prophet/internal/sim"
 	"prophet/internal/stats"
+	"prophet/internal/sweep"
 	"prophet/internal/trace"
 	"prophet/internal/tree"
 	"prophet/internal/workloads"
@@ -38,6 +44,9 @@ type Config struct {
 	Samples int
 	// Seed drives sample generation.
 	Seed int64
+	// Workers bounds the sweep worker pool: 0 selects GOMAXPROCS, 1
+	// runs serially. Output is identical at every setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -175,9 +184,31 @@ type Fig11Case struct {
 type Fig11Result struct {
 	Summary *report.Table
 	Cases   []*Fig11Case
+	// Failed counts samples whose cell failed (a worker panic is
+	// isolated to its cell and reported here instead of killing the
+	// sweep).
+	Failed int
 }
 
 var fig11Scheds = []prophet.Sched{prophet.Static1, prophet.Static, prophet.Dynamic1}
+
+// fig11Panels are the paper's six validation panel configurations.
+var fig11Panels = []struct {
+	name   string
+	test2  bool
+	cores  int
+	method prophet.Method
+}{
+	{"Test1, 8-core, FF", false, 8, prophet.FastForward},
+	{"Test1, 12-core, FF", false, 12, prophet.FastForward},
+	{"Test2, 8-core, FF", true, 8, prophet.FastForward},
+	{"Test2, 12-core, FF", true, 12, prophet.FastForward},
+	{"Test2, 12-core, SYN", true, 12, prophet.Synthesizer},
+	{"Test2, 4-core, Suitability", true, 4, prophet.Suitability},
+}
+
+// Fig11 is the package-level convenience wrapper around Harness.Fig11.
+func Fig11(cfg Config) Fig11Result { return New(cfg).Fig11() }
 
 // Fig11 reproduces the §VII-B validation: random Test1/Test2 samples,
 // FF/synthesizer/Suitability predictions versus real machine runs, per
@@ -186,29 +217,31 @@ var fig11Scheds = []prophet.Sched{prophet.Static1, prophet.Static, prophet.Dynam
 //	(a) Test1 8-core FF    (b) Test1 12-core FF
 //	(c) Test2 8-core FF    (d) Test2 12-core FF
 //	(e) Test2 12-core SYN  (f) Test2 4-core Suitability
-func Fig11(cfg Config) Fig11Result {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+//
+// Sample parameters are drawn serially from cfg.Seed (so the sample set
+// is identical at every worker count); each sample's profile→emulate
+// pipeline then runs as one sweep cell, and results merge in sample
+// order.
+func (h *Harness) Fig11() Fig11Result {
+	cfg := h.cfg
 
-	panels := []struct {
-		name   string
-		test2  bool
-		cores  int
-		method prophet.Method
-	}{
-		{"Test1, 8-core, FF", false, 8, prophet.FastForward},
-		{"Test1, 12-core, FF", false, 12, prophet.FastForward},
-		{"Test2, 8-core, FF", true, 8, prophet.FastForward},
-		{"Test2, 12-core, FF", true, 12, prophet.FastForward},
-		{"Test2, 12-core, SYN", true, 12, prophet.Synthesizer},
-		{"Test2, 4-core, Suitability", true, 4, prophet.Suitability},
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type samplePair struct {
+		t1 workloads.Test1Params
+		t2 workloads.Test2Params
 	}
-	cases := make([]*Fig11Case, len(panels))
+	pairs := make([]samplePair, cfg.Samples)
+	for s := range pairs {
+		pairs[s].t1 = workloads.RandomTest1(rng)
+		pairs[s].t2 = workloads.RandomTest2(rng)
+	}
+
+	cases := make([]*Fig11Case, len(fig11Panels))
 	labels := make([]string, len(fig11Scheds))
 	for i, s := range fig11Scheds {
 		labels[i] = s.String()
 	}
-	for i, pn := range panels {
+	for i, pn := range fig11Panels {
 		cases[i] = &Fig11Case{
 			Name:    pn.name,
 			Acc:     map[string]*stats.Accumulator{},
@@ -219,27 +252,51 @@ func Fig11(cfg Config) Fig11Result {
 		}
 	}
 
-	opts := &prophet.Options{Machine: cfg.Machine, DisableMemoryModel: true}
-	for s := 0; s < cfg.Samples; s++ {
-		p1 := workloads.RandomTest1(rng).Program()
-		p2 := workloads.RandomTest2(rng).Program()
-		prof1, err1 := prophet.ProfileProgram(p1, opts)
-		prof2, err2 := prophet.ProfileProgram(p2, opts)
+	type point struct{ pred, real float64 }
+	type sampleOut struct {
+		ok   bool
+		vals [][]point // [panel][schedule]
+	}
+	outs := sweep.Run(h.eng, len(pairs), func(s int) (sampleOut, error) {
+		var out sampleOut
+		prof1, err1 := h.profileTest1(pairs[s].t1)
+		prof2, err2 := h.profileTest2(pairs[s].t2)
 		if err1 != nil || err2 != nil {
-			continue
+			return out, nil // sample skipped, as in the serial harness
 		}
-		for i, pn := range panels {
+		out.ok = true
+		out.vals = make([][]point, len(fig11Panels))
+		for i, pn := range fig11Panels {
 			prof := prof1
 			if pn.test2 {
 				prof = prof2
 			}
+			out.vals[i] = make([]point, len(fig11Scheds))
 			for si, sched := range fig11Scheds {
 				real := prof.RealSpeedup(prophet.Request{Threads: pn.cores, Sched: sched})
 				pred := prof.Estimate(prophet.Request{
 					Method: pn.method, Threads: pn.cores, Sched: sched,
 				}).Speedup
-				cases[i].Acc[sched.String()].Add(pred, real)
-				cases[i].Scatter.Add(si, pred, real)
+				out.vals[i][si] = point{pred, real}
+			}
+		}
+		return out, nil
+	})
+
+	failed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+			continue
+		}
+		if !o.Value.ok {
+			continue
+		}
+		for i := range fig11Panels {
+			for si, sched := range fig11Scheds {
+				pt := o.Value.vals[i][si]
+				cases[i].Acc[sched.String()].Add(pt.pred, pt.real)
+				cases[i].Scatter.Add(si, pt.pred, pt.real)
 			}
 		}
 	}
@@ -256,41 +313,77 @@ func Fig11(cfg Config) Fig11Result {
 				fmt.Sprintf("%.0f%%", 100*a.FracWithin(0.20)))
 		}
 	}
-	return Fig11Result{Summary: sum, Cases: cases}
+	return Fig11Result{Summary: sum, Cases: cases, Failed: failed}
 }
+
+// Fig12 is the package-level convenience wrapper around Harness.Fig12.
+func Fig12(cfg Config, names []string) []*report.Series { return New(cfg).Fig12(names) }
 
 // Fig12 reproduces the benchmark predictions (Fig. 12; the NPB-FT panel is
 // also the paper's Fig. 2): for each benchmark and core count, Real, Pred
 // (synthesizer without memory model), PredM (with), and Suit.
-func Fig12(cfg Config, names []string) []*report.Series {
-	cfg = cfg.withDefaults()
+//
+// The (benchmark, cores) grid is sharded across the worker pool; the
+// per-benchmark profile is computed once through the harness cache,
+// whichever cell reaches it first, and the series are assembled in
+// benchmark-then-cores order.
+func (h *Harness) Fig12(names []string) []*report.Series {
+	cfg := h.cfg
 	if names == nil {
 		names = workloads.Names()
 	}
-	var out []*report.Series
+	var ws []*workloads.Workload
 	for _, name := range names {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			continue
 		}
-		prof, err := prophet.ProfileProgram(w.Program, &prophet.Options{
-			Machine:      cfg.Machine,
-			ThreadCounts: cfg.Cores,
-		})
-		if err != nil {
-			continue
+		ws = append(ws, w)
+	}
+
+	type cellID struct{ w, c int }
+	grid := make([]cellID, 0, len(ws)*len(cfg.Cores))
+	for wi := range ws {
+		for ci := range cfg.Cores {
+			grid = append(grid, cellID{wi, ci})
 		}
+	}
+	type cellOut struct {
+		ok                      bool
+		real, pred, predM, suit float64
+	}
+	outs := sweep.Run(h.eng, len(grid), func(i int) (cellOut, error) {
+		id := grid[i]
+		w := ws[id.w]
+		prof, err := h.profileBench(w)
+		if err != nil {
+			return cellOut{}, nil // benchmark skipped, as in the serial harness
+		}
+		cores := cfg.Cores[id.c]
+		base := prophet.Request{Threads: cores, Paradigm: w.Paradigm, Sched: w.Sched}
+		return cellOut{
+			ok:    true,
+			real:  prof.RealSpeedup(base),
+			pred:  prof.Estimate(withMethod(base, prophet.Synthesizer, false)).Speedup,
+			predM: prof.Estimate(withMethod(base, prophet.Synthesizer, true)).Speedup,
+			suit:  prof.Estimate(withMethod(base, prophet.Suitability, false)).Speedup,
+		}, nil
+	})
+
+	var out []*report.Series
+	for wi, w := range ws {
 		s := report.NewSeries(fmt.Sprintf("%s — %s", w.Name, w.Desc), "cores",
 			"Real", "Pred", "PredM", "Suit")
-		for _, cores := range cfg.Cores {
-			base := prophet.Request{Threads: cores, Paradigm: w.Paradigm, Sched: w.Sched}
-			real := prof.RealSpeedup(base)
-			pred := prof.Estimate(withMethod(base, prophet.Synthesizer, false)).Speedup
-			predM := prof.Estimate(withMethod(base, prophet.Synthesizer, true)).Speedup
-			suit := prof.Estimate(withMethod(base, prophet.Suitability, false)).Speedup
-			s.AddPoint(float64(cores), real, pred, predM, suit)
+		for ci, cores := range cfg.Cores {
+			o := outs[wi*len(cfg.Cores)+ci]
+			if o.Err != nil || !o.Value.ok {
+				continue
+			}
+			s.AddPoint(float64(cores), o.Value.real, o.Value.pred, o.Value.predM, o.Value.suit)
 		}
-		out = append(out, s)
+		if len(s.X) > 0 {
+			out = append(out, s)
+		}
 	}
 	return out
 }
@@ -312,26 +405,31 @@ func Table1() *report.Table {
 	return t
 }
 
+// Table3 is the package-level convenience wrapper around Harness.Table3.
+func Table3(cfg Config, names []string) *report.Table { return New(cfg).Table3(names) }
+
 // Table3 measures the FF-versus-synthesizer trade-off of Table III on the
 // real benchmarks: wall-clock cost per estimate and agreement with the
-// machine ground truth at 8 threads.
-func Table3(cfg Config, names []string) *report.Table {
-	cfg = cfg.withDefaults()
+// machine ground truth at 8 threads. Benchmarks run as parallel cells
+// (profiles come from the shared cache); the per-estimate wall-clock
+// columns are measurements, so — unlike the speedup columns — they vary
+// run to run.
+func (h *Harness) Table3(names []string) *report.Table {
 	if names == nil {
 		names = []string{"MD-OMP", "NPB-EP", "NPB-CG"}
 	}
-	t := report.NewTable("Table III — FF vs synthesizer (8 threads)",
-		"benchmark", "FF ms/estimate", "SYN ms/estimate", "FF err", "SYN err")
-	for _, name := range names {
-		w, err := workloads.ByName(name)
+	type row struct {
+		ok    bool
+		cells []string
+	}
+	outs := sweep.Run(h.eng, len(names), func(i int) (row, error) {
+		w, err := workloads.ByName(names[i])
 		if err != nil {
-			continue
+			return row{}, nil
 		}
-		prof, err := prophet.ProfileProgram(w.Program, &prophet.Options{
-			Machine: cfg.Machine, ThreadCounts: cfg.Cores,
-		})
+		prof, err := h.profileBench(w)
 		if err != nil {
-			continue
+			return row{}, nil
 		}
 		base := prophet.Request{Threads: 8, Paradigm: w.Paradigm, Sched: w.Sched, MemoryModel: true}
 		real := prof.RealSpeedup(base)
@@ -344,38 +442,51 @@ func Table3(cfg Config, names []string) *report.Table {
 		synS := prof.Estimate(withMethod(base, prophet.Synthesizer, true)).Speedup
 		synMS := float64(time.Since(start).Microseconds()) / 1000
 
-		t.AddRow(name,
+		return row{ok: true, cells: []string{
+			w.Name,
 			fmt.Sprintf("%.2f", ffMS),
 			fmt.Sprintf("%.2f", synMS),
 			fmt.Sprintf("%.1f%%", 100*stats.RelErr(ffS, real)),
-			fmt.Sprintf("%.1f%%", 100*stats.RelErr(synS, real)))
+			fmt.Sprintf("%.1f%%", 100*stats.RelErr(synS, real)),
+		}}, nil
+	})
+	t := report.NewTable("Table III — FF vs synthesizer (8 threads)",
+		"benchmark", "FF ms/estimate", "SYN ms/estimate", "FF err", "SYN err")
+	for _, o := range outs {
+		if o.Err == nil && o.Value.ok {
+			t.AddRow(o.Value.cells...)
+		}
 	}
 	return t
 }
 
+// OverheadTable is the package-level wrapper around Harness.OverheadTable.
+func OverheadTable(cfg Config, names []string) *report.Table { return New(cfg).OverheadTable(names) }
+
 // OverheadTable reports the §VI-B / §VII-D profiling costs: wall time,
 // tree sizes before/after compression, and the hottest section's burden
-// factor at 12 threads.
-func OverheadTable(cfg Config, names []string) *report.Table {
-	cfg = cfg.withDefaults()
+// factor at 12 threads. Because the table *times profiling itself*, it
+// bypasses the harness profile cache — every row is a fresh profile run
+// (in its own sweep cell, so rows still progress concurrently).
+func (h *Harness) OverheadTable(names []string) *report.Table {
 	if names == nil {
 		// NPB-IS joins the overhead table: §VI-B calls it out as the
 		// compression stress case (10 GB tree before compression).
 		names = append(workloads.Names(), "NPB-IS")
 	}
-	t := report.NewTable("Profiling & compression overhead (§VI-B, §VII-D)",
-		"benchmark", "profile ms", "nodes before", "nodes after", "reduction", "~bytes", "β12 (hottest)")
-	for _, name := range names {
-		w, err := workloads.ByName(name)
+	type row struct {
+		ok    bool
+		cells []string
+	}
+	outs := sweep.Run(h.eng, len(names), func(i int) (row, error) {
+		w, err := workloads.ByName(names[i])
 		if err != nil {
-			continue
+			return row{}, nil
 		}
 		start := time.Now()
-		prof, err := prophet.ProfileProgram(w.Program, &prophet.Options{
-			Machine: cfg.Machine, ThreadCounts: cfg.Cores,
-		})
+		prof, err := prophet.ProfileProgram(w.Program, h.benchOpts())
 		if err != nil {
-			continue
+			return row{}, nil
 		}
 		ms := float64(time.Since(start).Microseconds()) / 1000
 		beta := 1.0
@@ -384,13 +495,22 @@ func OverheadTable(cfg Config, names []string) *report.Table {
 				beta = b
 			}
 		}
-		t.AddRow(name,
+		return row{ok: true, cells: []string{
+			w.Name,
 			fmt.Sprintf("%.1f", ms),
 			fmt.Sprintf("%d", prof.Compression.NodesBefore),
 			fmt.Sprintf("%d", prof.Compression.NodesAfter),
 			fmt.Sprintf("%.1f%%", 100*prof.Compression.Reduction()),
 			fmt.Sprintf("%d", prof.Compression.BytesAfter),
-			fmt.Sprintf("%.2f", beta))
+			fmt.Sprintf("%.2f", beta),
+		}}, nil
+	})
+	t := report.NewTable("Profiling & compression overhead (§VI-B, §VII-D)",
+		"benchmark", "profile ms", "nodes before", "nodes after", "reduction", "~bytes", "β12 (hottest)")
+	for _, o := range outs {
+		if o.Err == nil && o.Value.ok {
+			t.AddRow(o.Value.cells...)
+		}
 	}
 	return t
 }

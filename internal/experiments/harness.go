@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prophet"
+	"prophet/internal/sweep"
+	"prophet/internal/workloads"
+)
+
+// Harness evaluates the paper's experiment grids on a bounded worker
+// pool (internal/sweep). Every (workload, seed, cores, schedule) cell is
+// an independent deterministic profile→emulate pipeline, so cells run
+// concurrently and results are merged in cell order — the rendered
+// tables and CSVs are byte-identical to a serial run at any worker
+// count.
+//
+// The harness also carries keyed profile caches shared across figures:
+// Fig. 11's six panels reuse the same random Test1/Test2 trees, and
+// Fig. 12 / Table III share benchmark profiles, so each input is
+// profiled exactly once per harness no matter how many cells consume it.
+type Harness struct {
+	cfg Config
+	eng sweep.Engine
+
+	// Profile caches, keyed by the cell fingerprint that fully
+	// determines the profile (the generator parameters / the benchmark
+	// name — machine and thread counts are fixed per harness).
+	t1    sweep.Cache[workloads.Test1Params, *prophet.Profile]
+	t2    sweep.Cache[workloads.Test2Params, *prophet.Profile]
+	bench sweep.Cache[string, *prophet.Profile]
+}
+
+// New builds a harness for cfg. cfg.Workers bounds the worker pool
+// (0 = GOMAXPROCS, 1 = serial).
+func New(cfg Config) *Harness {
+	cfg = cfg.withDefaults()
+	return &Harness{cfg: cfg, eng: sweep.Engine{Workers: cfg.Workers}}
+}
+
+// Config returns the harness configuration with defaults applied.
+func (h *Harness) Config() Config { return h.cfg }
+
+// validationOpts are the profiling options of the §VII-B validation
+// sweeps (Fig. 11, ranking): the memory model is off, as the generated
+// Test1/Test2 programs carry no memory traffic.
+func (h *Harness) validationOpts() *prophet.Options {
+	return &prophet.Options{Machine: h.cfg.Machine, DisableMemoryModel: true}
+}
+
+// benchOpts are the profiling options of the benchmark sweeps (Fig. 12,
+// Table III): full memory model over the configured thread counts.
+func (h *Harness) benchOpts() *prophet.Options {
+	return &prophet.Options{Machine: h.cfg.Machine, ThreadCounts: h.cfg.Cores}
+}
+
+// profileTest1 profiles one Test1 sample through the shared cache.
+func (h *Harness) profileTest1(p workloads.Test1Params) (*prophet.Profile, error) {
+	return h.t1.Get(p, func() (*prophet.Profile, error) {
+		return prophet.ProfileProgram(p.Program(), h.validationOpts())
+	})
+}
+
+// profileTest2 profiles one Test2 sample through the shared cache.
+func (h *Harness) profileTest2(p workloads.Test2Params) (*prophet.Profile, error) {
+	return h.t2.Get(p, func() (*prophet.Profile, error) {
+		return prophet.ProfileProgram(p.Program(), h.validationOpts())
+	})
+}
+
+// profileBench profiles one named benchmark through the shared cache.
+func (h *Harness) profileBench(w *workloads.Workload) (*prophet.Profile, error) {
+	return h.bench.Get(w.Name, func() (*prophet.Profile, error) {
+		return prophet.ProfileProgram(w.Program, h.benchOpts())
+	})
+}
+
+// CacheStats describes the harness's profile caches (for logs and the
+// scaling benchmark).
+func (h *Harness) CacheStats() string {
+	t1h, t1m := h.t1.Stats()
+	t2h, t2m := h.t2.Stats()
+	bh, bm := h.bench.Stats()
+	return fmt.Sprintf("profile cache: test1 %d/%d hit, test2 %d/%d hit, bench %d/%d hit",
+		t1h, t1h+t1m, t2h, t2h+t2m, bh, bh+bm)
+}

@@ -6,8 +6,13 @@ import (
 
 	"prophet"
 	"prophet/internal/report"
+	"prophet/internal/sweep"
 	"prophet/internal/workloads"
 )
+
+// ScheduleRanking is the package-level wrapper around
+// Harness.ScheduleRanking.
+func ScheduleRanking(cfg Config) *report.Table { return New(cfg).ScheduleRanking() }
 
 // ScheduleRanking measures what a programmer actually uses the tool for
 // (§I: "programmers can interactively use the tool to modify their source
@@ -18,10 +23,16 @@ import (
 // For each random Test1 sample, the FF predicts the speedup of every
 // schedule; the result counts how often the predicted-best schedule is
 // truly best (within a tie tolerance) and how often the full ranking
-// matches the machine's.
-func ScheduleRanking(cfg Config) *report.Table {
-	cfg = cfg.withDefaults()
+// matches the machine's. Samples run as sweep cells; Test1 profiles come
+// from the harness cache shared with Fig. 11.
+func (h *Harness) ScheduleRanking() *report.Table {
+	cfg := h.cfg
 	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	params := make([]workloads.Test1Params, cfg.Samples)
+	for s := range params {
+		params[s] = workloads.RandomTest1(rng)
+	}
 
 	coresUnder := []int{4, 8, 12}
 	type tally struct{ bestHits, fullHits, n int }
@@ -29,14 +40,19 @@ func ScheduleRanking(cfg Config) *report.Table {
 
 	const tieTol = 0.03 // 3%: schedules this close count as tied
 
-	for s := 0; s < cfg.Samples; s++ {
-		prog := workloads.RandomTest1(rng).Program()
-		prof, err := prophet.ProfileProgram(prog, &prophet.Options{
-			Machine: cfg.Machine, DisableMemoryModel: true,
-		})
+	type sampleOut struct {
+		ok         bool
+		best, full []bool // per coresUnder entry
+	}
+	outs := sweep.Run(h.eng, len(params), func(s int) (sampleOut, error) {
+		var out sampleOut
+		prof, err := h.profileTest1(params[s])
 		if err != nil {
-			continue
+			return out, nil
 		}
+		out.ok = true
+		out.best = make([]bool, len(coresUnder))
+		out.full = make([]bool, len(coresUnder))
 		for ci, cores := range coresUnder {
 			var pred, real [3]float64
 			for si, sched := range fig11Scheds {
@@ -48,10 +64,20 @@ func ScheduleRanking(cfg Config) *report.Table {
 			pb, rb := argmax(pred[:]), argmax(real[:])
 			// Best-pick hit: the predicted winner is truly best, or
 			// within the tie tolerance of the true best.
-			if pb == rb || real[pb] >= real[rb]*(1-tieTol) {
+			out.best[ci] = pb == rb || real[pb] >= real[rb]*(1-tieTol)
+			out.full[ci] = sameOrder(pred[:], real[:], tieTol)
+		}
+		return out, nil
+	})
+	for _, o := range outs {
+		if o.Err != nil || !o.Value.ok {
+			continue
+		}
+		for ci := range coresUnder {
+			if o.Value.best[ci] {
 				tallies[ci].bestHits++
 			}
-			if sameOrder(pred[:], real[:], tieTol) {
+			if o.Value.full[ci] {
 				tallies[ci].fullHits++
 			}
 			tallies[ci].n++

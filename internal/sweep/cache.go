@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes expensive deterministic computations by key with
+// singleflight semantics: concurrent Gets for the same key run the
+// compute function exactly once and share its result. The experiment
+// harness uses it so figures that share samples (Fig. 11's six panels
+// reuse the same random trees; Fig. 12 / Table III reuse benchmark
+// profiles) profile each input once no matter how many cells need it.
+//
+// The zero value is ready to use. Compute functions must be
+// deterministic for the cache to preserve the harness's determinism
+// guarantee; errors (including recovered panics) are cached like values.
+type Cache[K comparable, V any] struct {
+	mu     sync.Mutex
+	m      map[K]*cacheEntry[V]
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+// Get returns the cached value for key, computing it with compute on
+// first use. Concurrent callers of the same key block until the single
+// compute finishes. A panic inside compute is recovered into a
+// *PanicError (Cell -1) shared by all waiters.
+func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero V
+				e.v = zero
+				e.err = &PanicError{Cell: -1, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		e.v, e.err = compute()
+	})
+	return e.v, e.err
+}
+
+// Len returns the number of cached keys.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the hit/miss counters (a "hit" is any Get that found the
+// key already present, even if the compute was still in flight).
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

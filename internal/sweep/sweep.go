@@ -1,0 +1,117 @@
+// Package sweep runs grids of independent experiment cells on a bounded
+// worker pool.
+//
+// The evaluation harness (internal/experiments) is an embarrassingly
+// parallel grid: every (workload, seed, cores, schedule) cell is one
+// deterministic profile→emulate pipeline with no shared mutable state.
+// Run shards such a grid over a GOMAXPROCS-sized pool and returns the
+// results indexed by cell, so callers merge them in deterministic cell
+// order and produce output that is byte-identical to a serial run
+// regardless of worker count.
+//
+// Cells are isolated: a panic inside one cell is recovered and reported
+// as that cell's *PanicError instead of killing the whole sweep.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine bounds the worker pool used by Run.
+type Engine struct {
+	// Workers is the maximum number of concurrent cells. Zero (or
+	// negative) selects GOMAXPROCS; 1 runs the sweep serially on the
+	// calling goroutine.
+	Workers int
+}
+
+// WorkerCount resolves the effective pool size.
+func (e Engine) WorkerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError reports a panic recovered inside a sweep cell (or a cache
+// compute function, where Cell is -1).
+type PanicError struct {
+	// Cell is the index of the failed cell (-1 for cache computes).
+	Cell int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sweep: cell %d panicked: %v", p.Cell, p.Value)
+}
+
+// Outcome is the result of one cell.
+type Outcome[T any] struct {
+	// Index is the cell index (Outcome i of Run is always cell i; the
+	// field exists so outcomes can be filtered and still traced back).
+	Index int
+	// Value is the cell's result (zero if Err != nil).
+	Value T
+	// Err is the cell's error; a recovered panic surfaces as *PanicError.
+	Err error
+}
+
+// Run evaluates cells 0..n-1 with fn on e's worker pool and returns one
+// Outcome per cell, indexed by cell. Cells are claimed dynamically (an
+// atomic cursor, so imbalanced cells load-balance), but the returned
+// slice is ordered by cell index: merging outcomes front to back yields
+// the same result order as a serial loop, whatever the worker count.
+func Run[T any](e Engine, n int, fn func(i int) (T, error)) []Outcome[T] {
+	out := make([]Outcome[T], n)
+	if n == 0 {
+		return out
+	}
+	workers := e.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = runCell(i, fn)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = runCell(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runCell evaluates one cell with panic isolation.
+func runCell[T any](i int, fn func(i int) (T, error)) (o Outcome[T]) {
+	o.Index = i
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			o.Value = zero
+			o.Err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	o.Value, o.Err = fn(i)
+	return o
+}

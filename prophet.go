@@ -27,13 +27,13 @@ package prophet
 
 import (
 	"sort"
-	"sync"
 
 	"prophet/internal/clock"
 	"prophet/internal/compress"
 	"prophet/internal/counters"
 	"prophet/internal/memmodel"
 	"prophet/internal/sim"
+	"prophet/internal/sweep"
 	"prophet/internal/trace"
 	"prophet/internal/tree"
 )
@@ -101,37 +101,35 @@ type Profile struct {
 }
 
 // calibrated caches one memory model per machine configuration —
-// calibration runs a microbenchmark sweep and is worth reusing.
-var calibrated sync.Map // sim.Config -> *memmodel.Model
+// calibration runs a microbenchmark sweep and is worth reusing. The
+// singleflight cache matters under the parallel experiment sweeps:
+// concurrent profiles of the same machine share one calibration run
+// instead of racing to duplicate it.
+var calibrated sweep.Cache[sim.Config, *memmodel.Model]
 
 func modelFor(mc sim.Config, threads []int) (*memmodel.Model, error) {
 	key := mc.Normalized()
-	if m, ok := calibrated.Load(key); ok {
-		return m.(*memmodel.Model), nil
-	}
-	// Calibrate over a full ladder up to the core count, not just the
-	// requested thread counts: the Φ power-law fit needs several
-	// saturated operating points to be well-conditioned (§V-D).
-	ladder := map[int]bool{}
-	for _, t := range threads {
-		if t >= 2 && t <= key.Cores {
+	return calibrated.Get(key, func() (*memmodel.Model, error) {
+		// Calibrate over a full ladder up to the core count, not just the
+		// requested thread counts: the Φ power-law fit needs several
+		// saturated operating points to be well-conditioned (§V-D).
+		ladder := map[int]bool{}
+		for _, t := range threads {
+			if t >= 2 && t <= key.Cores {
+				ladder[t] = true
+			}
+		}
+		for t := 2; t <= key.Cores; t += 2 {
 			ladder[t] = true
 		}
-	}
-	for t := 2; t <= key.Cores; t += 2 {
-		ladder[t] = true
-	}
-	var ts []int
-	for t := range ladder {
-		ts = append(ts, t)
-	}
-	sort.Ints(ts)
-	m, _, err := memmodel.Calibrate(key, ts)
-	if err != nil {
-		return nil, err
-	}
-	calibrated.Store(key, m)
-	return m, nil
+		var ts []int
+		for t := range ladder {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		m, _, err := memmodel.Calibrate(key, ts)
+		return m, err
+	})
 }
 
 // ProfileProgram profiles prog (serially, on the virtual cycle clock),
