@@ -14,9 +14,14 @@
 //
 // Experiment grids run on the internal/sweep worker pool; output is
 // byte-identical at every -workers setting.
+//
+// Exit codes: 0 success; 1 a write or cell failure under -failfast;
+// 2 usage error; 3 the -timeout deadline expired (partial results are
+// still printed — canceled cells are reported as skipped).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,10 +44,19 @@ func main() {
 		markdown = flag.Bool("md", false, "render tables as GitHub markdown instead of aligned text")
 		coresArg = flag.String("cores", "", "comma-separated core counts (default 2,4,6,8,10,12)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "stop starting new sweep cells after this duration and exit 3 (0 = no limit)")
+		failFast = flag.Bool("failfast", false, "cancel the remainder of a sweep when any cell fails")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Samples: *samples, Workers: *workers}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := experiments.Config{Samples: *samples, Workers: *workers, FailFast: *failFast}
 	if *coresArg != "" {
 		for _, p := range strings.Split(*coresArg, ",") {
 			var v int
@@ -66,8 +80,10 @@ func main() {
 
 	// One harness for the whole invocation: figures sharing inputs
 	// (Fig. 11 / ranking samples, Fig. 12 / Table III benchmark
-	// profiles) reuse each other's cached profiles.
-	h := experiments.New(cfg)
+	// profiles) reuse each other's cached profiles. The context gates
+	// every sweep: when -timeout fires, no new cell starts, in-flight
+	// cells drain, and the merged output marks the rest as skipped.
+	h := experiments.NewCtx(ctx, cfg)
 
 	if all || *fig == "4" {
 		fmt.Fprintln(out, "## Fig. 4 — program tree of the running example")
@@ -85,6 +101,9 @@ func main() {
 		mustWrite(res.Summary, out)
 		if res.Failed > 0 {
 			fmt.Fprintf(os.Stderr, "fig 11: %d sample cells failed\n", res.Failed)
+		}
+		if res.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "fig 11: %d sample cells skipped (canceled)\n", res.Skipped)
 		}
 		if *csvDir != "" {
 			for _, c := range res.Cases {
@@ -126,6 +145,11 @@ func main() {
 				writeCSV(*csvDir, "calibration-"+slug(s.Name)+".csv", s.WriteCSV)
 			}
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ppexp: %v — results above are partial\n", err)
+		os.Exit(3)
 	}
 }
 

@@ -9,10 +9,16 @@
 //	prophet -load tree.json [-method ff] ...
 //
 // Use -list to see the available benchmarks.
+//
+// Exit codes: 0 success; 1 profiling/prediction failure (a deadlocked
+// emulation also prints its wait graph); 2 usage error; 3 the -timeout
+// deadline expired.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +31,28 @@ import (
 	"prophet/internal/sim"
 	"prophet/internal/workloads"
 )
+
+// Exit codes.
+const (
+	exitErr      = 1 // profiling or prediction failed
+	exitUsage    = 2 // bad flags or input
+	exitDeadline = 3 // -timeout expired
+)
+
+// fail prints err for its stage and exits with the matching code. A
+// deadline expiry exits 3; a deadlock additionally prints the wait-graph
+// diagnostic so the user can see which virtual threads hold which locks.
+func fail(stage string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", stage, err)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		os.Exit(exitDeadline)
+	}
+	var dl *prophet.DeadlockError
+	if errors.As(err, &dl) {
+		fmt.Fprintf(os.Stderr, "wait graph:\n%s\n", dl.WaitGraph())
+	}
+	os.Exit(exitErr)
+}
 
 func main() {
 	var (
@@ -41,8 +69,16 @@ func main() {
 		regions   = flag.Bool("regions", false, "print the per-region work/span/self-parallelism profile")
 		timeline  = flag.Bool("timeline", false, "render a per-core timeline of the machine ground truth at the largest core count")
 		advise    = flag.Bool("advise", false, "sweep paradigms/schedules/cores and print a recommendation")
+		timeout   = flag.Duration("timeout", 0, "abort profiling and prediction after this duration, exiting 3 (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list || (*benchName == "" && *loadPath == "") {
 		fmt.Println("available benchmarks:")
@@ -84,10 +120,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tree parse:", err)
 			os.Exit(2)
 		}
-		prof, err = prophet.ProfileTree(&root, &prophet.Options{ThreadCounts: cores})
+		prof, err = prophet.ProfileTreeCtx(ctx, &root, &prophet.Options{ThreadCounts: cores})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("profile", err)
 		}
 		name = *loadPath
 		sched = prophet.Static
@@ -98,10 +133,9 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("profiling %s (%s)...\n", w.Name, w.Desc)
-		prof, err = prophet.ProfileProgram(w.Program, &prophet.Options{ThreadCounts: cores})
+		prof, err = prophet.ProfileProgramCtx(ctx, w.Program, &prophet.Options{ThreadCounts: cores})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "profile failed:", err)
-			os.Exit(1)
+			fail("profile", err)
 		}
 		name = w.Name
 		paradigm = w.Paradigm
@@ -123,10 +157,17 @@ func main() {
 	t := report.NewTable(fmt.Sprintf("%s — %s, %s, %v", name, m, paradigm, sched), headers...)
 	for _, c := range cores {
 		req := prophet.Request{Method: m, Threads: c, Paradigm: paradigm, Sched: sched, MemoryModel: *useMem}
-		est := prof.Estimate(req)
+		est, err := prof.EstimateCtx(ctx, req)
+		if err != nil {
+			fail(fmt.Sprintf("predict %d cores", c), err)
+		}
 		row := []string{strconv.Itoa(c), fmt.Sprintf("%.2f", est.Speedup)}
 		if *withReal {
-			row = append(row, fmt.Sprintf("%.2f", prof.RealSpeedup(req)))
+			real, err := prof.RealSpeedupCtx(ctx, req)
+			if err != nil {
+				fail(fmt.Sprintf("real run %d cores", c), err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", real))
 		}
 		t.AddRow(row...)
 	}

@@ -1,6 +1,8 @@
 package prophet
 
 import (
+	"context"
+
 	"prophet/internal/compress"
 	"prophet/internal/trace"
 )
@@ -47,7 +49,9 @@ func (h *HostProfile) Context() Context { return h.p }
 // Hardware counters are unavailable on the host (no PAPI substitute), so
 // unless the program reported misses through Compute the memory model
 // gates to β = 1; pass Options.MemModel to supply an external model.
-func (h *HostProfile) Finish(opts *Options) (*Profile, error) {
+// Panics below the boundary return as *PanicError.
+func (h *HostProfile) Finish(opts *Options) (p *Profile, err error) {
+	defer recoverToError(&err)
 	root, err := h.p.Finish()
 	if err != nil {
 		return nil, err
@@ -68,7 +72,7 @@ func (h *HostProfile) Finish(opts *Options) (*Profile, error) {
 	if !o.DisableMemoryModel {
 		m := o.MemModel
 		if m == nil {
-			m, err = modelFor(o.Machine, o.ThreadCounts)
+			m, err = modelFor(context.Background(), o.Machine, o.ThreadCounts)
 			if err != nil {
 				return nil, err
 			}

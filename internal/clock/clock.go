@@ -51,6 +51,36 @@ func (v *Virtual) Set(t Cycles) {
 	}
 }
 
+// Skewed wraps a base clock and perturbs each reading through Skew — the
+// cross-core rdtsc drift the paper's tool has to survive on real hardware
+// (§VI-A). internal/faults drives it with a seeded offset; the zero Skew
+// is pass-through. Monotonicity is enforced: a skew that would make time
+// run backwards is clamped to the previous reading, exactly as a
+// monotone-filtered rdtsc would behave.
+type Skewed struct {
+	// Base is the underlying clock.
+	Base Clock
+	// Skew returns the offset (positive or negative cycles) to add to
+	// the given base reading. It runs on the reading goroutine and must
+	// be deterministic for reproducible runs.
+	Skew func(base Cycles) Cycles
+
+	last Cycles
+}
+
+// Now returns the skewed, monotonicity-clamped cycle stamp.
+func (s *Skewed) Now() Cycles {
+	t := s.Base.Now()
+	if s.Skew != nil {
+		t += s.Skew(t)
+	}
+	if t < s.last {
+		t = s.last
+	}
+	s.last = t
+	return t
+}
+
 // Host converts the Go monotonic clock into nominal cycles at Hz. It stands
 // in for rdtsc: monotone, cheap, and good enough for interval profiling on a
 // real machine.

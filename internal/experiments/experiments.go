@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -47,6 +48,9 @@ type Config struct {
 	// Workers bounds the sweep worker pool: 0 selects GOMAXPROCS, 1
 	// runs serially. Output is identical at every setting.
 	Workers int
+	// FailFast cancels the remainder of a sweep when any cell errors:
+	// in-flight cells drain, unclaimed cells are marked Skipped.
+	FailFast bool
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +192,10 @@ type Fig11Result struct {
 	// isolated to its cell and reported here instead of killing the
 	// sweep).
 	Failed int
+	// Skipped counts samples whose cell never ran because the harness
+	// context was canceled (or a FailFast sweep had already failed). A
+	// nonzero count marks the result as partial.
+	Skipped int
 }
 
 var fig11Scheds = []prophet.Sched{prophet.Static1, prophet.Static, prophet.Dynamic1}
@@ -257,10 +265,13 @@ func (h *Harness) Fig11() Fig11Result {
 		ok   bool
 		vals [][]point // [panel][schedule]
 	}
-	outs := sweep.Run(h.eng, len(pairs), func(s int) (sampleOut, error) {
+	outs := sweep.RunCtx(h.ctx, h.eng, len(pairs), func(ctx context.Context, s int) (sampleOut, error) {
 		var out sampleOut
-		prof1, err1 := h.profileTest1(pairs[s].t1)
-		prof2, err2 := h.profileTest2(pairs[s].t2)
+		prof1, err1 := h.profileTest1(ctx, pairs[s].t1)
+		prof2, err2 := h.profileTest2(ctx, pairs[s].t2)
+		if err := ctx.Err(); err != nil {
+			return out, err // canceled mid-cell: report, don't silently skip
+		}
 		if err1 != nil || err2 != nil {
 			return out, nil // sample skipped, as in the serial harness
 		}
@@ -273,18 +284,28 @@ func (h *Harness) Fig11() Fig11Result {
 			}
 			out.vals[i] = make([]point, len(fig11Scheds))
 			for si, sched := range fig11Scheds {
-				real := prof.RealSpeedup(prophet.Request{Threads: pn.cores, Sched: sched})
-				pred := prof.Estimate(prophet.Request{
+				real, err := prof.RealSpeedupCtx(ctx, prophet.Request{Threads: pn.cores, Sched: sched})
+				if err != nil {
+					return sampleOut{}, err
+				}
+				est, err := prof.EstimateCtx(ctx, prophet.Request{
 					Method: pn.method, Threads: pn.cores, Sched: sched,
-				}).Speedup
-				out.vals[i][si] = point{pred, real}
+				})
+				if err != nil {
+					return sampleOut{}, err
+				}
+				out.vals[i][si] = point{est.Speedup, real}
 			}
 		}
 		return out, nil
 	})
 
-	failed := 0
+	failed, skipped := 0, 0
 	for _, o := range outs {
+		if o.Skipped {
+			skipped++
+			continue
+		}
 		if o.Err != nil {
 			failed++
 			continue
@@ -313,7 +334,7 @@ func (h *Harness) Fig11() Fig11Result {
 				fmt.Sprintf("%.0f%%", 100*a.FracWithin(0.20)))
 		}
 	}
-	return Fig11Result{Summary: sum, Cases: cases, Failed: failed}
+	return Fig11Result{Summary: sum, Cases: cases, Failed: failed, Skipped: skipped}
 }
 
 // Fig12 is the package-level convenience wrapper around Harness.Fig12.
@@ -352,18 +373,25 @@ func (h *Harness) Fig12(names []string) []*report.Series {
 		ok                      bool
 		real, pred, predM, suit float64
 	}
-	outs := sweep.Run(h.eng, len(grid), func(i int) (cellOut, error) {
+	outs := sweep.RunCtx(h.ctx, h.eng, len(grid), func(ctx context.Context, i int) (cellOut, error) {
 		id := grid[i]
 		w := ws[id.w]
-		prof, err := h.profileBench(w)
+		prof, err := h.profileBench(ctx, w)
+		if err := ctx.Err(); err != nil {
+			return cellOut{}, err
+		}
 		if err != nil {
 			return cellOut{}, nil // benchmark skipped, as in the serial harness
 		}
 		cores := cfg.Cores[id.c]
 		base := prophet.Request{Threads: cores, Paradigm: w.Paradigm, Sched: w.Sched}
+		real, err := prof.RealSpeedupCtx(ctx, base)
+		if err != nil {
+			return cellOut{}, err
+		}
 		return cellOut{
 			ok:    true,
-			real:  prof.RealSpeedup(base),
+			real:  real,
 			pred:  prof.Estimate(withMethod(base, prophet.Synthesizer, false)).Speedup,
 			predM: prof.Estimate(withMethod(base, prophet.Synthesizer, true)).Speedup,
 			suit:  prof.Estimate(withMethod(base, prophet.Suitability, false)).Speedup,
@@ -422,12 +450,15 @@ func (h *Harness) Table3(names []string) *report.Table {
 		ok    bool
 		cells []string
 	}
-	outs := sweep.Run(h.eng, len(names), func(i int) (row, error) {
+	outs := sweep.RunCtx(h.ctx, h.eng, len(names), func(ctx context.Context, i int) (row, error) {
 		w, err := workloads.ByName(names[i])
 		if err != nil {
 			return row{}, nil
 		}
-		prof, err := h.profileBench(w)
+		prof, err := h.profileBench(ctx, w)
+		if cerr := ctx.Err(); cerr != nil {
+			return row{}, cerr
+		}
 		if err != nil {
 			return row{}, nil
 		}
@@ -478,13 +509,16 @@ func (h *Harness) OverheadTable(names []string) *report.Table {
 		ok    bool
 		cells []string
 	}
-	outs := sweep.Run(h.eng, len(names), func(i int) (row, error) {
+	outs := sweep.RunCtx(h.ctx, h.eng, len(names), func(ctx context.Context, i int) (row, error) {
 		w, err := workloads.ByName(names[i])
 		if err != nil {
 			return row{}, nil
 		}
 		start := time.Now()
-		prof, err := prophet.ProfileProgram(w.Program, h.benchOpts())
+		prof, err := prophet.ProfileProgramCtx(ctx, w.Program, h.benchOpts())
+		if cerr := ctx.Err(); cerr != nil {
+			return row{}, cerr
+		}
 		if err != nil {
 			return row{}, nil
 		}

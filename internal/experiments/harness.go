@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prophet"
@@ -21,6 +22,7 @@ import (
 // profiled exactly once per harness no matter how many cells consume it.
 type Harness struct {
 	cfg Config
+	ctx context.Context
 	eng sweep.Engine
 
 	// Profile caches, keyed by the cell fingerprint that fully
@@ -34,8 +36,23 @@ type Harness struct {
 // New builds a harness for cfg. cfg.Workers bounds the worker pool
 // (0 = GOMAXPROCS, 1 = serial).
 func New(cfg Config) *Harness {
+	return NewCtx(context.Background(), cfg)
+}
+
+// NewCtx builds a harness whose sweeps honour ctx: once it fires, no new
+// cell starts, in-flight cells drain, and unclaimed cells come back
+// marked Skipped. With cfg.FailFast the first cell error cancels the rest
+// of the sweep the same way.
+func NewCtx(ctx context.Context, cfg Config) *Harness {
 	cfg = cfg.withDefaults()
-	return &Harness{cfg: cfg, eng: sweep.Engine{Workers: cfg.Workers}}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Harness{
+		cfg: cfg,
+		ctx: ctx,
+		eng: sweep.Engine{Workers: cfg.Workers, FailFast: cfg.FailFast},
+	}
 }
 
 // Config returns the harness configuration with defaults applied.
@@ -55,23 +72,25 @@ func (h *Harness) benchOpts() *prophet.Options {
 }
 
 // profileTest1 profiles one Test1 sample through the shared cache.
-func (h *Harness) profileTest1(p workloads.Test1Params) (*prophet.Profile, error) {
+// Cancellation errors are never cached, so a canceled sweep does not
+// poison the cache for a later run.
+func (h *Harness) profileTest1(ctx context.Context, p workloads.Test1Params) (*prophet.Profile, error) {
 	return h.t1.Get(p, func() (*prophet.Profile, error) {
-		return prophet.ProfileProgram(p.Program(), h.validationOpts())
+		return prophet.ProfileProgramCtx(ctx, p.Program(), h.validationOpts())
 	})
 }
 
 // profileTest2 profiles one Test2 sample through the shared cache.
-func (h *Harness) profileTest2(p workloads.Test2Params) (*prophet.Profile, error) {
+func (h *Harness) profileTest2(ctx context.Context, p workloads.Test2Params) (*prophet.Profile, error) {
 	return h.t2.Get(p, func() (*prophet.Profile, error) {
-		return prophet.ProfileProgram(p.Program(), h.validationOpts())
+		return prophet.ProfileProgramCtx(ctx, p.Program(), h.validationOpts())
 	})
 }
 
 // profileBench profiles one named benchmark through the shared cache.
-func (h *Harness) profileBench(w *workloads.Workload) (*prophet.Profile, error) {
+func (h *Harness) profileBench(ctx context.Context, w *workloads.Workload) (*prophet.Profile, error) {
 	return h.bench.Get(w.Name, func() (*prophet.Profile, error) {
-		return prophet.ProfileProgram(w.Program, h.benchOpts())
+		return prophet.ProfileProgramCtx(ctx, w.Program, h.benchOpts())
 	})
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -44,9 +45,12 @@ func (h *Harness) ScheduleRanking() *report.Table {
 		ok         bool
 		best, full []bool // per coresUnder entry
 	}
-	outs := sweep.Run(h.eng, len(params), func(s int) (sampleOut, error) {
+	outs := sweep.RunCtx(h.ctx, h.eng, len(params), func(ctx context.Context, s int) (sampleOut, error) {
 		var out sampleOut
-		prof, err := h.profileTest1(params[s])
+		prof, err := h.profileTest1(ctx, params[s])
+		if cerr := ctx.Err(); cerr != nil {
+			return out, cerr
+		}
 		if err != nil {
 			return out, nil
 		}

@@ -26,6 +26,8 @@ package ff
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"math"
 
 	"prophet/internal/clock"
@@ -54,23 +56,52 @@ type Emulator struct {
 // program: emulated top-level sections plus the untouched serial regions
 // (the formula of §IV-E applied to the FF).
 func (e *Emulator) PredictTime(root *tree.Node) clock.Cycles {
+	t, _ := e.PredictTimeCtx(context.Background(), root)
+	return t
+}
+
+// cancelPanic unwinds the emulation's recursive descent when the context
+// is canceled; it never escapes the package.
+type cancelPanic struct{ err error }
+
+// PredictTimeCtx is PredictTime with cancellation: the emulation polls ctx
+// between events and returns an error wrapping ctx.Err() when it fires.
+func (e *Emulator) PredictTimeCtx(ctx context.Context, root *tree.Node) (t clock.Cycles, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cp, ok := r.(cancelPanic)
+			if !ok {
+				panic(r)
+			}
+			t, err = 0, cp.err
+		}
+	}()
 	total := root.SerialOutsideSections()
 	for _, sec := range root.TopLevelSections() {
 		// A Repeat-compressed top-level section ran Reps times
 		// back-to-back in the serial program.
-		total += e.emulateTopSection(sec) * clock.Cycles(sec.Reps())
+		total += e.emulateTopSectionCtx(ctx, sec) * clock.Cycles(sec.Reps())
 	}
-	return total
+	return total, nil
 }
 
 // Speedup returns serial time / predicted parallel time.
 func (e *Emulator) Speedup(root *tree.Node) float64 {
+	s, _ := e.SpeedupCtx(context.Background(), root)
+	return s
+}
+
+// SpeedupCtx is Speedup with cancellation.
+func (e *Emulator) SpeedupCtx(ctx context.Context, root *tree.Node) (float64, error) {
 	serial := root.TotalLen()
-	pred := e.PredictTime(root)
-	if pred <= 0 {
-		return 1
+	pred, err := e.PredictTimeCtx(ctx, root)
+	if err != nil {
+		return 0, err
 	}
-	return float64(serial) / float64(pred)
+	if pred <= 0 {
+		return 1, nil
+	}
+	return float64(serial) / float64(pred), nil
 }
 
 // threadCount clamps the configured thread count.
@@ -98,9 +129,24 @@ type state struct {
 	burden   float64
 	ov       omprt.Overheads
 	sched    omprt.Sched
+	ctx      context.Context
+	steps    int64 // events since the last cancellation poll
 }
 
-func (e *Emulator) emulateTopSection(sec *tree.Node) clock.Cycles {
+// tick polls the cancellation context every 4096 emulated events; on
+// cancellation it unwinds the (recursive) emulation with a private panic
+// recovered in PredictTimeCtx.
+func (st *state) tick() {
+	st.steps++
+	if st.steps&0xfff != 0 || st.ctx == nil {
+		return
+	}
+	if err := st.ctx.Err(); err != nil {
+		panic(cancelPanic{fmt.Errorf("ff: emulation aborted after %d events: %w", st.steps, err)})
+	}
+}
+
+func (e *Emulator) emulateTopSectionCtx(ctx context.Context, sec *tree.Node) clock.Cycles {
 	p := e.threads()
 	burden := 1.0
 	if e.UseBurden {
@@ -112,6 +158,7 @@ func (e *Emulator) emulateTopSection(sec *tree.Node) clock.Cycles {
 		burden:   burden,
 		ov:       e.Ov,
 		sched:    e.Sched,
+		ctx:      ctx,
 	}
 	if sec.Pipeline {
 		return emulatePipeline(st, sec, 0, p)
@@ -219,6 +266,7 @@ func emulateSection(st *state, sec *tree.Node, start clock.Cycles, p int) clock.
 	heap.Init(&h)
 	var finish clock.Cycles
 	for h.Len() > 0 {
+		st.tick()
 		w := h[0]
 		if w.cur == nil {
 			tr, dispatch, ok := nextTask(st, w, shared)
@@ -417,6 +465,7 @@ func emulateNested(st *state, sec *tree.Node, start clock.Cycles, homeCPU, p int
 	begin := start + st.ov.ForkPerThread*clock.Cycles(minInt(p, len(tasks))-1)
 	var finish clock.Cycles
 	for j, tr := range tasks {
+		st.tick()
 		cpu := (homeCPU + j) % p
 		t := begin + st.ov.WorkerInit
 		if a := st.avail[cpu]; a > t {

@@ -53,6 +53,7 @@ func emulatePipeline(st *state, sec *tree.Node, start clock.Cycles, p int) clock
 	stageFinish := make([]clock.Cycles, depth) // finish of stage s, previous iteration
 	var finish clock.Cycles
 	for _, tr := range tasks {
+		st.tick()
 		slots := pipesim.StageSlots(tr.node)
 		var prevStageEnd clock.Cycles = begin
 		for s, seg := range slots {

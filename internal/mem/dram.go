@@ -60,6 +60,10 @@ type DRAM struct {
 	cfg    DRAMConfig
 	demand float64 // sum of registered unconstrained demands (B/cycle)
 	active int
+	// bwHook, when set, rescales the effective bandwidth (fault
+	// injection: internal/faults models DRAM degradation through it).
+	// No-op by default.
+	bwHook func(base float64) float64
 }
 
 // NewDRAM returns a DRAM model with the given configuration. Zero-value
@@ -111,6 +115,14 @@ func (d *DRAM) ActiveDemand() float64 { return d.demand }
 // ActiveThreads returns the number of registered memory-active threads.
 func (d *DRAM) ActiveThreads() int { return d.active }
 
+// SetBandwidthHook installs (or, with nil, removes) a bandwidth
+// perturbation: Stretch computes contention against hook(configured
+// bandwidth) instead of the configured value. The hook runs on the engine
+// goroutine and must be deterministic; non-positive returns are ignored.
+func (d *DRAM) SetBandwidthHook(hook func(base float64) float64) {
+	d.bwHook = hook
+}
+
 // Stretch returns the factor by which the memory portion of the active
 // threads' work is dilated under the current aggregate demand.
 //
@@ -118,7 +130,13 @@ func (d *DRAM) ActiveThreads() int { return d.active }
 // knee and saturation, queueing grows latency linearly; past saturation the
 // fluid-sharing limit applies: every byte takes demand/B times longer.
 func (d *DRAM) Stretch() float64 {
-	return d.cfg.StretchAt(d.demand)
+	cfg := d.cfg
+	if d.bwHook != nil {
+		if b := d.bwHook(cfg.BandwidthBytesPerCycle); b > 0 {
+			cfg.BandwidthBytesPerCycle = b
+		}
+	}
+	return cfg.StretchAt(d.demand)
 }
 
 // StretchAt computes the stretch for an arbitrary aggregate demand. Exposed

@@ -1,6 +1,8 @@
 package memmodel
 
 import (
+	"context"
+
 	"prophet/internal/clock"
 	"prophet/internal/counters"
 	"prophet/internal/fit"
@@ -34,9 +36,9 @@ var intensities = []int64{0, 8, 16, 24, 40, 64, 96, 160, 256}
 
 // measure runs t symmetric streaming threads of the given intensity on a
 // fresh machine and returns (perThreadDelta MB/s, omega cycles/miss).
-func measure(mc sim.Config, hz float64, t int, instrPerMiss int64) (float64, float64) {
+func measure(ctx context.Context, mc sim.Config, hz float64, t int, instrPerMiss int64) (float64, float64, error) {
 	const missesPerThread = 20_000
-	end, _ := sim.Run(mc, func(main *sim.Thread) {
+	end, _, err := sim.RunCtx(ctx, mc, func(main *sim.Thread) {
 		ws := make([]*sim.Thread, 0, t-1)
 		body := func(w *sim.Thread) {
 			w.WorkMem(clock.Cycles(instrPerMiss*missesPerThread), missesPerThread)
@@ -49,8 +51,11 @@ func measure(mc sim.Config, hz float64, t int, instrPerMiss int64) (float64, flo
 			main.Join(w)
 		}
 	})
+	if err != nil {
+		return 0, 0, err
+	}
 	if end <= 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	bytesPerCycle := float64(missesPerThread) * counters.LineSize / float64(end)
 	delta := bytesPerCycle * hz / 1e6
@@ -58,7 +63,7 @@ func measure(mc sim.Config, hz float64, t int, instrPerMiss int64) (float64, flo
 	if omega < 0 {
 		omega = 0
 	}
-	return delta, omega
+	return delta, omega, nil
 }
 
 // Calibrate runs the paper's §V-D microbenchmark against the simulated
@@ -66,6 +71,13 @@ func measure(mc sim.Config, hz float64, t int, instrPerMiss int64) (float64, flo
 // t = 2, a·ln δ + b otherwise, as Eq. (6) does) and Φ as a power law
 // (Eq. (7), fitted on points with δ ≥ the traffic floor).
 func Calibrate(mc sim.Config, threadCounts []int) (*Model, CalibrationData, error) {
+	return CalibrateCtx(context.Background(), mc, threadCounts)
+}
+
+// CalibrateCtx is Calibrate with cancellation: the microbenchmark sweep
+// checks ctx between machine runs and aborts with an error wrapping
+// ctx.Err().
+func CalibrateCtx(ctx context.Context, mc sim.Config, threadCounts []int) (*Model, CalibrationData, error) {
 	// Context-switch noise would blur the symmetric measurement.
 	mc.ContextSwitch = -1
 	hz := clock.DefaultHz
@@ -82,7 +94,10 @@ func Calibrate(mc sim.Config, threadCounts []int) (*Model, CalibrationData, erro
 	serialDelta := make([]float64, len(intensities))
 	serialOmega := make([]float64, len(intensities))
 	for i, ipm := range intensities {
-		d, w := measure(mc, hz, 1, ipm)
+		d, w, err := measure(ctx, mc, hz, 1, ipm)
+		if err != nil {
+			return nil, data, err
+		}
 		serialDelta[i] = d
 		serialOmega[i] = w
 		data.Points = append(data.Points, CalibrationPoint{Threads: 1, SerialDelta: d, PerThreadDelta: d, Omega: w})
@@ -96,7 +111,10 @@ func Calibrate(mc sim.Config, threadCounts []int) (*Model, CalibrationData, erro
 		}
 		var xs, ys []float64
 		for i, ipm := range intensities {
-			d, w := measure(mc, hz, t, ipm)
+			d, w, err := measure(ctx, mc, hz, t, ipm)
+			if err != nil {
+				return nil, data, err
+			}
 			data.Points = append(data.Points, CalibrationPoint{
 				Threads: t, SerialDelta: serialDelta[i], PerThreadDelta: d, Omega: w,
 			})

@@ -15,6 +15,8 @@
 package realrun
 
 import (
+	"context"
+
 	"prophet/internal/cilkrt"
 	"prophet/internal/clock"
 	"prophet/internal/omprt"
@@ -79,23 +81,29 @@ func segWork(w *sim.Thread, n *tree.Node) {
 
 // Time runs the whole tree as a parallelized program and returns its
 // makespan: top-level sections execute through the parallel runtime,
-// top-level U nodes serially in between.
+// top-level U nodes serially in between. It panics on simulation errors
+// (legacy contract); error-tolerant callers use TimeCtx.
 func Time(root *tree.Node, cfg Config) clock.Cycles {
 	return TimeTraced(root, cfg, nil)
+}
+
+// TimeCtx is Time with cancellation and typed simulation errors.
+func TimeCtx(ctx context.Context, root *tree.Node, cfg Config) (clock.Cycles, error) {
+	return timeOpt(ctx, root, cfg, nil)
 }
 
 // TimeTraced is Time with an optional slice recorder attached, for
 // rendering the execution as a per-core timeline (sim.Recorder.Gantt).
 func TimeTraced(root *tree.Node, cfg Config, rec *sim.Recorder) clock.Cycles {
-	run := func(main func(*sim.Thread)) clock.Cycles {
-		if rec != nil {
-			end, _ := sim.RunTraced(cfg.Machine, rec, main)
-			return end
-		}
-		end, _ := sim.Run(cfg.Machine, main)
-		return end
+	end, err := timeOpt(context.Background(), root, cfg, rec)
+	if err != nil {
+		panic(err)
 	}
-	end := run(func(main *sim.Thread) {
+	return end
+}
+
+func timeOpt(ctx context.Context, root *tree.Node, cfg Config, rec *sim.Recorder) (clock.Cycles, error) {
+	end, _, err := sim.RunOpt(cfg.Machine, sim.RunOpts{Ctx: ctx, Recorder: rec}, func(main *sim.Thread) {
 		for _, c := range root.Children {
 			switch c.Kind {
 			case tree.U:
@@ -112,7 +120,7 @@ func TimeTraced(root *tree.Node, cfg Config, rec *sim.Recorder) clock.Cycles {
 			}
 		}
 	})
-	return end
+	return end, err
 }
 
 // runSection executes one top-level section through the configured runtime.
@@ -229,11 +237,24 @@ func SerialTime(root *tree.Node) clock.Cycles {
 	return root.TotalLen()
 }
 
-// Speedup returns SerialTime / Time for the given configuration.
+// Speedup returns SerialTime / Time for the given configuration. It panics
+// on simulation errors (legacy contract); use SpeedupCtx for typed errors.
 func Speedup(root *tree.Node, cfg Config) float64 {
 	t := Time(root, cfg)
 	if t <= 0 {
 		return 1
 	}
 	return float64(SerialTime(root)) / float64(t)
+}
+
+// SpeedupCtx is Speedup with cancellation and typed simulation errors.
+func SpeedupCtx(ctx context.Context, root *tree.Node, cfg Config) (float64, error) {
+	t, err := TimeCtx(ctx, root, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 1, nil
+	}
+	return float64(SerialTime(root)) / float64(t), nil
 }

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"context"
+	"errors"
+
+	"prophet/internal/clock"
+)
+
+// errAbortRun is the private panic value used to unwind thread goroutines
+// when a run fails; it never escapes the package.
+var errAbortRun = errors.New("sim: run aborted")
+
+// FaultHooks are the no-op-by-default scheduler/memory perturbation points
+// used by deterministic fault injection (internal/faults). Hooks are
+// called from the engine goroutine only, so implementations need no
+// locking but must be deterministic for reproducible runs.
+type FaultHooks struct {
+	// Quantum, when set, returns the (possibly jittered) scheduling
+	// quantum for a fresh slice on the given core; non-positive returns
+	// fall back to the configured quantum.
+	Quantum func(core int, quantum clock.Cycles) clock.Cycles
+	// DRAMBandwidth, when set, rescales the DRAM bandwidth seen by the
+	// contention model (bytes/cycle); non-positive returns fall back to
+	// the configured bandwidth.
+	DRAMBandwidth func(base float64) float64
+}
+
+// RunOpts bundles the optional knobs of a machine run.
+type RunOpts struct {
+	// Ctx cancels the run: the engine polls it and fails with an error
+	// wrapping ctx.Err(). Nil means context.Background().
+	Ctx context.Context
+	// Recorder captures executed work slices for timeline rendering.
+	Recorder *Recorder
+	// Faults installs deterministic perturbation hooks.
+	Faults *FaultHooks
+}
+
+// RunOpt executes main as thread 0 with the given options and returns the
+// makespan, run stats, and a typed error on failure: *DeadlockError,
+// *LockMisuseError, *BudgetError, *InternalError (a recovered thread
+// panic), or a cancellation error wrapping ctx.Err(). On failure every
+// thread goroutine is unwound before RunOpt returns — a failed run leaks
+// nothing, whatever state the workload was in.
+func RunOpt(cfg Config, o RunOpts, main func(*Thread)) (clock.Cycles, Stats, error) {
+	m := New(cfg)
+	if o.Ctx != nil {
+		m.ctx = o.Ctx
+	}
+	m.recorder = o.Recorder
+	if o.Faults != nil {
+		m.faults = o.Faults
+		if o.Faults.DRAMBandwidth != nil {
+			m.dram.SetBandwidthHook(o.Faults.DRAMBandwidth)
+		}
+	}
+	t := m.newThread(main)
+	m.makeReady(t)
+	return m.run()
+}
+
+// RunCtx is RunOpt with only a cancellation context.
+func RunCtx(ctx context.Context, cfg Config, main func(*Thread)) (clock.Cycles, Stats, error) {
+	return RunOpt(cfg, RunOpts{Ctx: ctx}, main)
+}

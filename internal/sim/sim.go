@@ -24,7 +24,10 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"runtime/debug"
+	"sync"
 
 	"prophet/internal/clock"
 	"prophet/internal/mem"
@@ -43,6 +46,13 @@ type Config struct {
 	ContextSwitch clock.Cycles
 	// DRAM configures the memory system (defaults from mem.DefaultDRAM).
 	DRAM mem.DRAMConfig
+	// MaxEvents is the watchdog budget on processed simulator events;
+	// a run that exceeds it fails with *BudgetError instead of spinning
+	// forever on a livelocked or runaway workload. Zero means unlimited.
+	MaxEvents int64
+	// MaxVirtualTime is the watchdog budget on virtual time (cycles);
+	// zero means unlimited.
+	MaxVirtualTime clock.Cycles
 }
 
 // DefaultConfig returns the paper-machine configuration: 12 cores, 50k-cycle
@@ -149,6 +159,7 @@ const (
 	opYield
 	opSleep
 	opExit
+	opPanic
 )
 
 type request struct {
@@ -160,6 +171,9 @@ type request struct {
 	other  *Thread
 	fn     func(*Thread)
 	reply  *Thread // spawn result
+	// panicVal/stack carry a recovered thread panic (opPanic).
+	panicVal any
+	stack    []byte
 }
 
 type lockState struct {
@@ -205,19 +219,30 @@ type coreState struct {
 
 // Machine is the simulated multicore machine.
 type Machine struct {
-	cfg    Config
-	dram   *mem.DRAM
-	now    clock.Cycles
-	reqCh  chan request
-	ready  []*Thread
-	cores  []coreState
-	events eventHeap
-	seq    uint64
-	live   int
-	nextID int
-	locks  map[int]*lockState
-	stats  Stats
-	end    clock.Cycles
+	cfg     Config
+	ctx     context.Context
+	dram    *mem.DRAM
+	now     clock.Cycles
+	reqCh   chan request
+	ready   []*Thread
+	cores   []coreState
+	events  eventHeap
+	seq     uint64
+	live    int
+	nextID  int
+	locks   map[int]*lockState
+	threads []*Thread
+	stats   Stats
+	end     clock.Cycles
+	// err is the first failure (deadlock, misuse, budget, panic,
+	// cancellation); once set the engine unwinds instead of continuing.
+	err error
+	// abort is closed when the engine unwinds; blocked thread goroutines
+	// observe it and exit so a failed run leaks nothing.
+	abort chan struct{}
+	wg    sync.WaitGroup
+	// faults, when set, perturbs scheduling (see FaultHooks in run.go).
+	faults *FaultHooks
 	// recorder, when set, captures executed work slices (see trace.go).
 	recorder *Recorder
 }
@@ -227,10 +252,12 @@ func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
 	m := &Machine{
 		cfg:   cfg,
+		ctx:   context.Background(),
 		dram:  mem.NewDRAM(cfg.DRAM),
 		reqCh: make(chan request),
 		cores: make([]coreState, cfg.Cores),
 		locks: make(map[int]*lockState),
+		abort: make(chan struct{}),
 	}
 	for i := range m.cores {
 		m.cores[i].quantumLeft = cfg.Quantum
@@ -240,14 +267,31 @@ func New(cfg Config) *Machine {
 
 // Run executes main as thread 0 of a machine with the given configuration
 // and returns the makespan (the time the last thread exited) and run stats.
-// Run panics on deadlock (every live thread blocked), which indicates a bug
-// in the runtime layer under test.
+// Run panics on any simulation error (deadlock, lock misuse, thread
+// panic), which indicates a bug in the runtime layer under test — library
+// code that must survive buggy workloads uses RunCtx/RunOpt instead.
 func Run(cfg Config, main func(*Thread)) (clock.Cycles, Stats) {
-	m := New(cfg)
-	t := m.newThread(main)
-	m.makeReady(t)
+	end, stats, err := RunOpt(cfg, RunOpts{}, main)
+	if err != nil {
+		panic(err)
+	}
+	return end, stats
+}
+
+// fail records the first error; later failures are dropped.
+func (m *Machine) fail(err error) {
+	if m.err == nil && err != nil {
+		m.err = err
+	}
+}
+
+// run drives the engine to completion or failure, then unwinds every
+// remaining thread goroutine so a failed run leaks nothing.
+func (m *Machine) run() (clock.Cycles, Stats, error) {
 	m.loop()
-	return m.end, m.stats
+	close(m.abort)
+	m.wg.Wait()
+	return m.end, m.stats, m.err
 }
 
 // Config returns the (defaulted) machine configuration.
@@ -263,10 +307,32 @@ func (m *Machine) newThread(f func(*Thread)) *Thread {
 	t := &Thread{id: m.nextID, m: m, resume: make(chan struct{}), core: -1, state: stateReady, pinned: -1}
 	m.nextID++
 	m.live++
+	m.threads = append(m.threads, t)
+	m.wg.Add(1)
 	go func() {
-		<-t.resume
+		defer m.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errAbortRun {
+					return // engine-initiated unwind
+				}
+				// A bug in the thread function: report it to the
+				// engine as a typed error instead of crashing the
+				// host process.
+				stack := debug.Stack()
+				select {
+				case m.reqCh <- request{t: t, kind: opPanic, panicVal: r, stack: stack}:
+				case <-m.abort:
+				}
+			}
+		}()
+		select {
+		case <-t.resume:
+		case <-m.abort:
+			return
+		}
 		f(t)
-		m.reqCh <- request{t: t, kind: opExit}
+		t.sendReq(request{t: t, kind: opExit})
 	}()
 	return t
 }
@@ -279,18 +345,36 @@ func (m *Machine) makeReady(t *Thread) {
 }
 
 // loop is the engine: it assigns ready threads to idle cores, pops the next
-// slice-end event, and advances virtual time until every thread has exited.
+// slice-end event, and advances virtual time until every thread has exited
+// or the run fails (deadlock, misuse, watchdog, cancellation).
 func (m *Machine) loop() {
-	for m.live > 0 {
+	for m.live > 0 && m.err == nil {
 		m.assignCores()
-		if m.live == 0 {
+		if m.live == 0 || m.err != nil {
 			break
 		}
 		if len(m.events) == 0 {
 			if m.anyRunnable() {
 				continue
 			}
-			panic(fmt.Sprintf("sim: deadlock at t=%d: %d live threads, none runnable", m.now, m.live))
+			m.fail(m.deadlockError())
+			break
+		}
+		if max := m.cfg.MaxEvents; max > 0 && m.stats.Events >= max {
+			m.fail(&BudgetError{Time: m.now, Events: m.stats.Events, MaxEvents: max, MaxTime: m.cfg.MaxVirtualTime})
+			break
+		}
+		if maxT := m.cfg.MaxVirtualTime; maxT > 0 && m.now >= maxT {
+			m.fail(&BudgetError{Time: m.now, Events: m.stats.Events, MaxEvents: m.cfg.MaxEvents, MaxTime: maxT})
+			break
+		}
+		// Poll the context every 4096 events: often enough to meet a
+		// deadline, rare enough to stay off the hot path.
+		if m.stats.Events&0xfff == 0 {
+			if err := m.ctx.Err(); err != nil {
+				m.fail(fmt.Errorf("sim: run aborted at t=%d after %d events: %w", m.now, m.stats.Events, err))
+				break
+			}
 		}
 		e := heap.Pop(&m.events).(event)
 		m.stats.Events++
@@ -321,9 +405,12 @@ func (m *Machine) anyRunnable() bool {
 // which may free the core again or wake further threads, so a single pass
 // is not enough.
 func (m *Machine) assignCores() {
-	for {
+	for m.err == nil {
 		placed := false
 		for i := range m.cores {
+			if m.err != nil {
+				return
+			}
 			if m.cores[i].running != nil || len(m.ready) == 0 {
 				continue
 			}
@@ -353,10 +440,22 @@ func (m *Machine) assignCores() {
 
 // startOn places thread t on core i with a fresh quantum and either starts
 // its pending work slice or resumes its code.
+// quantumFor yields the scheduling quantum for a fresh slice on core i,
+// applying the fault-injection jitter hook when installed.
+func (m *Machine) quantumFor(i int) clock.Cycles {
+	q := m.cfg.Quantum
+	if m.faults != nil && m.faults.Quantum != nil {
+		if jq := m.faults.Quantum(i, q); jq > 0 {
+			q = jq
+		}
+	}
+	return q
+}
+
 func (m *Machine) startOn(i int, t *Thread) {
 	c := &m.cores[i]
 	c.running = t
-	c.quantumLeft = m.cfg.Quantum
+	c.quantumLeft = m.quantumFor(i)
 	t.state = stateRunning
 	t.core = i
 	t.now = m.now
@@ -455,7 +554,7 @@ func (m *Machine) sliceEnd(i int) {
 			m.makeReady(t)
 			return
 		}
-		c.quantumLeft = m.cfg.Quantum
+		c.quantumLeft = m.quantumFor(i)
 	}
 	m.startSlice(i, 0)
 }
@@ -500,7 +599,11 @@ func (m *Machine) handle(req request) bool {
 	case opUnlock:
 		l := m.lock(req.lock)
 		if l.owner != t {
-			panic(fmt.Sprintf("sim: thread %d unlocks lock %d owned by %v", t.id, req.lock, ownerID(l.owner)))
+			// Double unlock / unlock-without-lock: a buggy annotated
+			// program must never crash the host process — abort the
+			// run with the same typed error path as deadlock.
+			m.fail(&LockMisuseError{Time: m.now, Thread: t.id, Lock: req.lock, Owner: ownerID(l.owner)})
+			return true
 		}
 		if len(l.waiters) > 0 {
 			next := l.waiters[0]
@@ -577,6 +680,16 @@ func (m *Machine) handle(req request) bool {
 		t.joiners = nil
 		m.cores[t.core].running = nil
 		return true
+
+	case opPanic:
+		// A thread function panicked: surface it as an error and stop.
+		m.fail(&InternalError{Value: req.panicVal, Stack: req.stack})
+		t.state = stateExited
+		m.live--
+		if t.core >= 0 {
+			m.cores[t.core].running = nil
+		}
+		return true
 	}
 	panic("sim: unknown request kind")
 }
@@ -597,9 +710,9 @@ func (m *Machine) lock(id int) *lockState {
 	return l
 }
 
-func ownerID(t *Thread) interface{} {
+func ownerID(t *Thread) int {
 	if t == nil {
-		return "nobody"
+		return -1
 	}
 	return t.id
 }

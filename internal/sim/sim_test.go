@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"prophet/internal/clock"
 	"prophet/internal/mem"
@@ -127,16 +130,47 @@ func TestLockMutualExclusionAndFIFO(t *testing.T) {
 	}
 }
 
-func TestUnlockNotOwnerPanics(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil || !strings.Contains(r.(string), "unlocks lock") {
-			t.Fatalf("expected unlock panic, got %v", r)
-		}
-	}()
-	Run(cfg(1), func(th *Thread) {
+func TestUnlockNotOwnerReturnsTypedError(t *testing.T) {
+	_, _, err := RunCtx(context.Background(), cfg(1), func(th *Thread) {
 		th.Unlock(7)
 	})
+	if !errors.Is(err, ErrLockMisuse) {
+		t.Fatalf("expected ErrLockMisuse, got %v", err)
+	}
+	var me *LockMisuseError
+	if !errors.As(err, &me) {
+		t.Fatalf("expected *LockMisuseError, got %T", err)
+	}
+	if me.Lock != 7 || me.Thread != 0 || me.Owner != -1 {
+		t.Fatalf("misuse diagnostic = %+v, want lock 7, thread 0, owner -1", me)
+	}
+	if !strings.Contains(err.Error(), "unlocks lock") {
+		t.Fatalf("error text %q lacks the unlock description", err)
+	}
+}
+
+func TestDoubleUnlockReturnsTypedError(t *testing.T) {
+	_, _, err := RunCtx(context.Background(), cfg(1), func(th *Thread) {
+		th.Lock(3)
+		th.Unlock(3)
+		th.Unlock(3) // double unlock: typed error, not a crash
+	})
+	if !errors.Is(err, ErrLockMisuse) {
+		t.Fatalf("expected ErrLockMisuse, got %v", err)
+	}
+}
+
+// RunLegacyPanicsOnError: the convenience Run keeps its panic contract for
+// runtime-layer tests; library paths use RunCtx/RunOpt.
+func TestRunLegacyPanicsOnError(t *testing.T) {
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrLockMisuse) {
+			t.Fatalf("expected panic with ErrLockMisuse, got %v", r)
+		}
+	}()
+	Run(cfg(1), func(th *Thread) { th.Unlock(7) })
 }
 
 func TestJoinAlreadyExited(t *testing.T) {
@@ -181,16 +215,174 @@ func TestParkBlocksUntilUnpark(t *testing.T) {
 	}
 }
 
-func TestDeadlockPanics(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil || !strings.Contains(r.(string), "deadlock") {
-			t.Fatalf("expected deadlock panic, got %v", r)
-		}
-	}()
-	Run(cfg(1), func(th *Thread) {
+func TestDeadlockReturnsTypedError(t *testing.T) {
+	// Classic two-thread lock cycle (A: 1 then 2, B: 2 then 1), run under a
+	// 1s wall-clock deadline: the engine must detect the cycle, unwind, and
+	// return a typed error with a wait graph — well before the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	_, _, err := RunCtx(ctx, cfg(2), func(th *Thread) {
+		a := th.Spawn(func(w *Thread) {
+			w.Lock(1)
+			w.Work(10_000)
+			w.Lock(2)
+			w.Unlock(2)
+			w.Unlock(1)
+		})
+		b := th.Spawn(func(w *Thread) {
+			w.Lock(2)
+			w.Work(10_000)
+			w.Lock(1)
+			w.Unlock(1)
+			w.Unlock(2)
+		})
+		th.Join(a)
+		th.Join(b)
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected *DeadlockError, got %T", err)
+	}
+	if de.Live < 2 {
+		t.Fatalf("deadlock diagnostic live = %d, want >= 2", de.Live)
+	}
+	wg := de.WaitGraph()
+	if !strings.Contains(wg, "held by thread") || !strings.Contains(wg, "lock 1") || !strings.Contains(wg, "lock 2") {
+		t.Fatalf("wait graph lacks holder/waiter edges:\n%s", wg)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadlock detection took %v, want well under the 1s deadline", elapsed)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("deadline expired before the deadlock was reported")
+	}
+}
+
+func TestParkedForeverIsDeadlock(t *testing.T) {
+	_, _, err := RunCtx(context.Background(), cfg(1), func(th *Thread) {
 		th.Park() // nobody will unpark
 	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) || !strings.Contains(de.WaitGraph(), "parked") {
+		t.Fatalf("wait graph should name the parked thread, got %v", err)
+	}
+}
+
+func TestMaxEventsBudgetExceeded(t *testing.T) {
+	c := cfg(1)
+	c.MaxEvents = 1_000
+	_, _, err := RunCtx(context.Background(), c, func(th *Thread) {
+		for { // runaway loop: never exits on its own
+			th.Work(1)
+		}
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Events < 1_000 {
+		t.Fatalf("budget diagnostic = %v", err)
+	}
+}
+
+func TestMaxVirtualTimeBudgetExceeded(t *testing.T) {
+	c := cfg(1)
+	c.MaxVirtualTime = 50_000
+	_, _, err := RunCtx(context.Background(), c, func(th *Thread) {
+		for {
+			th.Work(30_000)
+		}
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestContextCancellationStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the engine must notice at its next poll
+	_, _, err := RunCtx(ctx, cfg(2), func(th *Thread) {
+		for {
+			th.Work(1)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestThreadPanicBecomesInternalError(t *testing.T) {
+	_, _, err := RunCtx(context.Background(), cfg(2), func(th *Thread) {
+		w := th.Spawn(func(w *Thread) {
+			w.Work(100)
+			panic("workload bug")
+		})
+		th.Join(w)
+	})
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected *InternalError, got %v", err)
+	}
+	if ie.Value != "workload bug" || len(ie.Stack) == 0 {
+		t.Fatalf("internal error diagnostic = %+v", ie)
+	}
+}
+
+func TestErrorRunLeaksNoGoroutines(t *testing.T) {
+	// After a failed run every virtual-thread goroutine must be unwound;
+	// run many failing sims and check determinism of the typed result
+	// rather than goroutine counts (the WaitGroup in run() guarantees the
+	// drain — this exercises it under spawn-heavy workloads).
+	for i := 0; i < 50; i++ {
+		_, _, err := RunCtx(context.Background(), cfg(2), func(th *Thread) {
+			var ws []*Thread
+			for j := 0; j < 8; j++ {
+				ws = append(ws, th.Spawn(func(w *Thread) {
+					w.Lock(1)
+					w.Work(1_000)
+					// never unlocks: everyone else deadlocks
+					w.Park()
+				}))
+			}
+			for _, w := range ws {
+				th.Join(w)
+			}
+		})
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("iter %d: expected ErrDeadlock, got %v", i, err)
+		}
+	}
+}
+
+func TestQuantumFaultHookJittersSlices(t *testing.T) {
+	// A deterministic jitter hook must keep the run deterministic and
+	// still complete all work.
+	prog := func(th *Thread) {
+		a := th.Spawn(func(w *Thread) { w.Work(100_000) })
+		th.Work(100_000)
+		th.Join(a)
+	}
+	hook := &FaultHooks{Quantum: func(core int, q clock.Cycles) clock.Cycles {
+		return q - q/4
+	}}
+	e1, s1, err1 := RunOpt(cfg(1), RunOpts{Faults: hook}, prog)
+	e2, s2, err2 := RunOpt(cfg(1), RunOpts{Faults: hook}, prog)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("jittered runs failed: %v / %v", err1, err2)
+	}
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("jittered run nondeterministic: %d vs %d", e1, e2)
+	}
+	if e1 != 200_000 {
+		t.Fatalf("makespan = %d, want 200000 (work conserved under jitter)", e1)
+	}
 }
 
 func TestYield(t *testing.T) {

@@ -8,10 +8,26 @@ import "prophet/internal/clock"
 // when the engine schedules the thread again.
 
 // call submits a request and waits until the engine resumes this thread.
+// When the engine aborts the run (deadlock, misuse, budget, cancellation),
+// call unwinds the thread goroutine with a private panic that the wrapper
+// installed by newThread recovers.
 func (t *Thread) call(req request) {
 	req.t = t
-	t.m.reqCh <- req
-	<-t.resume
+	t.sendReq(req)
+	select {
+	case <-t.resume:
+	case <-t.m.abort:
+		panic(errAbortRun)
+	}
+}
+
+// sendReq delivers a request to the engine, unwinding on abort.
+func (t *Thread) sendReq(req request) {
+	select {
+	case t.m.reqCh <- req:
+	case <-t.m.abort:
+		panic(errAbortRun)
+	}
 }
 
 // Work consumes c cycles of pure computation (no memory traffic). It is the

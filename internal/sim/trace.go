@@ -164,12 +164,12 @@ func maxC(a, b clock.Cycles) clock.Cycles {
 }
 
 // RunTraced is Run with a Recorder attached: every executed work slice is
-// captured for later rendering.
+// captured for later rendering. Like Run, it panics on simulation errors;
+// error-tolerant callers use RunOpt with a Recorder.
 func RunTraced(cfg Config, rec *Recorder, main func(*Thread)) (clock.Cycles, Stats) {
-	m := New(cfg)
-	m.recorder = rec
-	t := m.newThread(main)
-	m.makeReady(t)
-	m.loop()
-	return m.end, m.stats
+	end, stats, err := RunOpt(cfg, RunOpts{Recorder: rec}, main)
+	if err != nil {
+		panic(err)
+	}
+	return end, stats
 }

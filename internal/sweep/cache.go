@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -15,7 +17,11 @@ import (
 //
 // The zero value is ready to use. Compute functions must be
 // deterministic for the cache to preserve the harness's determinism
-// guarantee; errors (including recovered panics) are cached like values.
+// guarantee; errors (including recovered panics) are cached like values,
+// EXCEPT cancellation errors (context.Canceled / DeadlineExceeded), which
+// are returned to the waiters of that flight but never memoized — a later
+// Get with a live context recomputes instead of replaying the stale
+// cancellation.
 type Cache[K comparable, V any] struct {
 	mu     sync.Mutex
 	m      map[K]*cacheEntry[V]
@@ -24,9 +30,9 @@ type Cache[K comparable, V any] struct {
 }
 
 type cacheEntry[V any] struct {
-	once sync.Once
-	v    V
-	err  error
+	ready chan struct{} // closed when v/err are final for this flight
+	v     V
+	err   error
 }
 
 // Get returns the cached value for key, computing it with compute on
@@ -40,16 +46,17 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	}
 	e, ok := c.m[key]
 	if !ok {
-		e = &cacheEntry[V]{}
+		e = &cacheEntry[V]{ready: make(chan struct{})}
 		c.m[key] = e
 	}
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+		<-e.ready
+		return e.v, e.err
 	}
-	e.once.Do(func() {
+	c.misses.Add(1)
+	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				var zero V
@@ -58,8 +65,24 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 			}
 		}()
 		e.v, e.err = compute()
-	})
+	}()
+	if isCancellation(e.err) {
+		// Drop the entry before releasing the waiters: this flight's
+		// cancellation must not answer future Gets.
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
 	return e.v, e.err
+}
+
+// isCancellation reports whether err stems from a canceled or expired
+// caller context rather than from the computation itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Len returns the number of cached keys.

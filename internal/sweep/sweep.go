@@ -14,6 +14,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -27,6 +28,10 @@ type Engine struct {
 	// negative) selects GOMAXPROCS; 1 runs the sweep serially on the
 	// calling goroutine.
 	Workers int
+	// FailFast cancels the rest of the sweep when any cell returns an
+	// error (RunCtx only): in-flight cells drain, cells not yet claimed
+	// are marked Skipped.
+	FailFast bool
 }
 
 // WorkerCount resolves the effective pool size.
@@ -61,6 +66,10 @@ type Outcome[T any] struct {
 	Value T
 	// Err is the cell's error; a recovered panic surfaces as *PanicError.
 	Err error
+	// Skipped marks a cell that never ran: the sweep's context was
+	// canceled (or a FailFast sweep had already failed) before the cell
+	// was claimed. Err wraps the cancellation cause.
+	Skipped bool
 }
 
 // Run evaluates cells 0..n-1 with fn on e's worker pool and returns one
@@ -69,9 +78,45 @@ type Outcome[T any] struct {
 // slice is ordered by cell index: merging outcomes front to back yields
 // the same result order as a serial loop, whatever the worker count.
 func Run[T any](e Engine, n int, fn func(i int) (T, error)) []Outcome[T] {
+	return RunCtx(context.Background(), e, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// RunCtx is Run with cancellation: once ctx fires, no new cell starts —
+// in-flight cells drain (fn observes the cancellation through its ctx
+// argument and may return early), and every cell not yet claimed comes
+// back with Skipped set and an Err wrapping the cancellation. Partial
+// results already computed are kept, so a canceled sweep still merges
+// deterministically: every cell is either a real outcome or marked
+// skipped, never silently missing.
+//
+// With e.FailFast, the first cell error cancels the rest of the sweep the
+// same way.
+func RunCtx[T any](ctx context.Context, e Engine, n int, fn func(ctx context.Context, i int) (T, error)) []Outcome[T] {
 	out := make([]Outcome[T], n)
 	if n == 0 {
 		return out
+	}
+	cellCtx := ctx
+	cancel := context.CancelFunc(func() {})
+	if e.FailFast {
+		cellCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	step := func(i int) {
+		if err := cellCtx.Err(); err != nil {
+			out[i] = Outcome[T]{
+				Index:   i,
+				Err:     fmt.Errorf("sweep: cell %d skipped: %w", i, err),
+				Skipped: true,
+			}
+			return
+		}
+		out[i] = runCell(cellCtx, i, fn)
+		if out[i].Err != nil {
+			cancel() // no-op unless FailFast
+		}
 	}
 	workers := e.WorkerCount()
 	if workers > n {
@@ -79,7 +124,7 @@ func Run[T any](e Engine, n int, fn func(i int) (T, error)) []Outcome[T] {
 	}
 	if workers <= 1 {
 		for i := range out {
-			out[i] = runCell(i, fn)
+			step(i)
 		}
 		return out
 	}
@@ -94,7 +139,7 @@ func Run[T any](e Engine, n int, fn func(i int) (T, error)) []Outcome[T] {
 				if i >= n {
 					return
 				}
-				out[i] = runCell(i, fn)
+				step(i)
 			}
 		}()
 	}
@@ -103,7 +148,7 @@ func Run[T any](e Engine, n int, fn func(i int) (T, error)) []Outcome[T] {
 }
 
 // runCell evaluates one cell with panic isolation.
-func runCell[T any](i int, fn func(i int) (T, error)) (o Outcome[T]) {
+func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (o Outcome[T]) {
 	o.Index = i
 	defer func() {
 		if r := recover(); r != nil {
@@ -112,6 +157,6 @@ func runCell[T any](i int, fn func(i int) (T, error)) (o Outcome[T]) {
 			o.Err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	o.Value, o.Err = fn(i)
+	o.Value, o.Err = fn(ctx, i)
 	return o
 }

@@ -19,6 +19,7 @@
 package synth
 
 import (
+	"context"
 	"sort"
 
 	"prophet/internal/cilkrt"
@@ -94,24 +95,52 @@ func (s *Synthesizer) threads() int {
 // program tree: emulated top-level sections plus untouched serial regions
 // (§IV-E's overall formula).
 func (s *Synthesizer) PredictTime(root *tree.Node) clock.Cycles {
+	t, err := s.PredictTimeCtx(context.Background(), root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PredictTimeCtx is PredictTime with cancellation and typed errors: the
+// underlying machine runs are cancelable through ctx, and simulation
+// failures (deadlock, budget, internal error) return instead of panicking.
+func (s *Synthesizer) PredictTimeCtx(ctx context.Context, root *tree.Node) (clock.Cycles, error) {
 	total := root.SerialOutsideSections()
 	for _, sec := range root.TopLevelSections() {
 		// A Repeat-compressed top-level section ran Reps times
 		// back-to-back in the serial program; one emulation per
 		// repeat would waste time, so multiply.
-		total += s.EmulateTopLevelParSec(sec) * clock.Cycles(sec.Reps())
+		d, err := s.emulateTopLevelParSec(ctx, sec)
+		if err != nil {
+			return 0, err
+		}
+		total += d * clock.Cycles(sec.Reps())
 	}
-	return total
+	return total, nil
 }
 
-// Speedup returns serial time / predicted time.
+// Speedup returns serial time / predicted time. It panics on simulation
+// errors (legacy contract); error-tolerant callers use SpeedupCtx.
 func (s *Synthesizer) Speedup(root *tree.Node) float64 {
-	serial := root.TotalLen()
-	pred := s.PredictTime(root)
-	if pred <= 0 {
-		return 1
+	sp, err := s.SpeedupCtx(context.Background(), root)
+	if err != nil {
+		panic(err)
 	}
-	return float64(serial) / float64(pred)
+	return sp
+}
+
+// SpeedupCtx is Speedup with cancellation and typed errors.
+func (s *Synthesizer) SpeedupCtx(ctx context.Context, root *tree.Node) (float64, error) {
+	serial := root.TotalLen()
+	pred, err := s.PredictTimeCtx(ctx, root)
+	if err != nil {
+		return 0, err
+	}
+	if pred <= 0 {
+		return 1, nil
+	}
+	return float64(serial) / float64(pred), nil
 }
 
 // overheadMgr accumulates per-worker tree-traversal overhead; the engine
@@ -143,13 +172,22 @@ func (o *overheadMgr) longest() clock.Cycles {
 
 // EmulateTopLevelParSec synthesizes and runs one top-level section and
 // returns its net duration (gross minus the longest traversal overhead).
+// It panics on simulation errors (legacy contract).
 func (s *Synthesizer) EmulateTopLevelParSec(sec *tree.Node) clock.Cycles {
+	d, err := s.emulateTopLevelParSec(context.Background(), sec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (s *Synthesizer) emulateTopLevelParSec(ctx context.Context, sec *tree.Node) (clock.Cycles, error) {
 	burden := 1.0
 	if s.UseBurden {
 		burden = sec.BurdenFor(s.threads())
 	}
 	om := newOverheadMgr()
-	gross, _ := sim.Run(s.Machine, func(main *sim.Thread) {
+	gross, _, err := sim.RunCtx(ctx, s.Machine, func(main *sim.Thread) {
 		if sec.Pipeline {
 			pipesim.Run(main, sec, s.threads(), func(w *sim.Thread, seg *tree.Node) {
 				om.charge(w, s.accessNode())
@@ -177,11 +215,14 @@ func (s *Synthesizer) EmulateTopLevelParSec(sec *tree.Node) clock.Cycles {
 			s.runSecOMP(rt, main, sec, burden, om)
 		}
 	})
+	if err != nil {
+		return 0, err
+	}
 	net := gross - om.longest()
 	if net < 0 {
 		net = 0
 	}
-	return net
+	return net, nil
 }
 
 func (s *Synthesizer) scaled(l clock.Cycles, burden float64) clock.Cycles {

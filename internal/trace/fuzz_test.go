@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"prophet/internal/mem"
+	"prophet/internal/tree"
 )
 
 // applyOp drives one annotation call from a fuzz byte.
@@ -59,18 +61,25 @@ func TestTracerNeverPanicsOnRandomAnnotations(t *testing.T) {
 				if verr := root.Validate(); verr != nil {
 					t.Fatalf("trial %d: Finish ok but tree invalid: %v", trial, verr)
 				}
+			} else if !errors.Is(err, ErrAnnotationMismatch) && !errors.Is(err, tree.ErrMalformed) {
+				t.Fatalf("trial %d: untyped error %T: %v", trial, err, err)
 			}
 		}()
 	}
 }
 
-// FuzzTracerAnnotations is the native fuzz target with the same property;
-// `go test -fuzz=FuzzTracerAnnotations ./internal/trace` explores further.
-func FuzzTracerAnnotations(f *testing.F) {
+// FuzzTracerEvents is the native fuzz target with the same property:
+// whatever annotation event stream arrives, the tracer either builds a
+// tree that validates or fails with a typed error — errors.Is against
+// ErrAnnotationMismatch or tree.ErrMalformed — and never panics.
+// `go test -fuzz=FuzzTracerEvents ./internal/trace` explores further.
+func FuzzTracerEvents(f *testing.F) {
 	f.Add([]byte{0, 2, 6, 3, 1})       // valid: sec, task, compute, end, end
 	f.Add([]byte{2})                   // orphan task
 	f.Add([]byte{0, 2, 4, 5, 3, 1})    // with lock
 	f.Add([]byte{7, 2, 6, 8, 6, 3, 1}) // pipeline with stage break
+	f.Add([]byte{0, 0, 1, 1})          // nested sections (illegal at top)
+	f.Add([]byte{0, 2, 4, 3, 1})       // lock left open across task end
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		rng := rand.New(rand.NewSource(1))
 		p := NewSimProfiler(mem.DRAMConfig{})
@@ -82,6 +91,8 @@ func FuzzTracerAnnotations(f *testing.F) {
 			if verr := root.Validate(); verr != nil {
 				t.Fatalf("valid finish, invalid tree: %v", verr)
 			}
+		} else if !errors.Is(err, ErrAnnotationMismatch) && !errors.Is(err, tree.ErrMalformed) {
+			t.Fatalf("untyped error %T: %v", err, err)
 		}
 	})
 }

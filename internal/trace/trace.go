@@ -61,6 +61,7 @@ type Tracer struct {
 	excluded clock.Cycles // accumulated profiling self-overhead
 	err      error
 	finished bool
+	hooks    Hooks // fault-injection points; zero value = pass-through
 
 	// pending memory traits to attach to the next U/L leaf (sim mode).
 	pendingMem tree.MemTraits
@@ -127,14 +128,14 @@ func (t *Tracer) closeGap(parent *tree.Node, f *frame, until clock.Cycles, kind 
 // SecBegin opens a parallel section (PAR_SEC_BEGIN). Sections are legal at
 // the top level or inside a task (nested parallelism).
 func (t *Tracer) SecBegin(name string) {
-	t.secBegin(name, false)
+	t.dispatch(EvSecBegin, func() { t.secBegin(name, false) })
 }
 
 // PipeBegin opens a pipeline-parallel section (the §VIII extension after
 // Thies et al.): its tasks are loop iterations and their U/L segments —
 // delimited by StageBreak — are pipeline stages.
 func (t *Tracer) PipeBegin(name string) {
-	t.secBegin(name, true)
+	t.dispatch(EvSecBegin, func() { t.secBegin(name, true) })
 }
 
 func (t *Tracer) secBegin(name string, pipeline bool) {
@@ -151,7 +152,7 @@ func (t *Tracer) secBegin(name string, pipeline bool) {
 		t.root.Children = append(t.root.Children, node)
 		nf := frame{node: node, kind: tree.Sec, start: now, lastEvent: now, topLevel: true}
 		if t.src != nil {
-			nf.counterStart = t.src.Counters()
+			nf.counterStart = t.readCounters()
 		}
 		t.stack = append(t.stack, nf)
 	case f.kind == tree.Task:
@@ -172,6 +173,10 @@ func (t *Tracer) PipeEnd() {
 // computation since the previous boundary becomes one stage (one U node).
 // It is also legal in ordinary tasks, where it merely splits the U node.
 func (t *Tracer) StageBreak() {
+	t.dispatch(EvStageBreak, t.stageBreak)
+}
+
+func (t *Tracer) stageBreak() {
 	raw := t.clk.Now()
 	defer t.exclude(raw)
 	now := raw - t.excluded
@@ -187,6 +192,10 @@ func (t *Tracer) StageBreak() {
 // SecEnd closes the current parallel section (PAR_SEC_END). nowait records
 // OpenMP's nowait: the section's implicit end barrier is suppressed.
 func (t *Tracer) SecEnd(nowait bool) {
+	t.dispatch(EvSecEnd, func() { t.secEnd(nowait) })
+}
+
+func (t *Tracer) secEnd(nowait bool) {
 	raw := t.clk.Now()
 	defer t.exclude(raw)
 	now := raw - t.excluded
@@ -198,7 +207,7 @@ func (t *Tracer) SecEnd(nowait bool) {
 	f.node.NoWait = nowait
 	if f.topLevel {
 		if t.src != nil {
-			end := t.src.Counters()
+			end := t.readCounters()
 			s := end
 			s.Instructions -= f.counterStart.Instructions
 			s.Cycles -= f.counterStart.Cycles
@@ -223,6 +232,10 @@ func (t *Tracer) SecEnd(nowait bool) {
 // TaskBegin opens a parallel task (PAR_TASK_BEGIN); legal only directly
 // inside a section.
 func (t *Tracer) TaskBegin(name string) {
+	t.dispatch(EvTaskBegin, func() { t.taskBegin(name) })
+}
+
+func (t *Tracer) taskBegin(name string) {
 	raw := t.clk.Now()
 	defer t.exclude(raw)
 	now := raw - t.excluded
@@ -239,6 +252,10 @@ func (t *Tracer) TaskBegin(name string) {
 
 // TaskEnd closes the current task (PAR_TASK_END).
 func (t *Tracer) TaskEnd() {
+	t.dispatch(EvTaskEnd, t.taskEnd)
+}
+
+func (t *Tracer) taskEnd() {
 	raw := t.clk.Now()
 	defer t.exclude(raw)
 	now := raw - t.excluded
@@ -257,6 +274,10 @@ func (t *Tracer) TaskEnd() {
 // LockBegin marks the acquisition of mutex id (LOCK_BEGIN); legal only
 // inside a task, and lock regions may not nest (an L node is a leaf).
 func (t *Tracer) LockBegin(id int) {
+	t.dispatch(EvLockBegin, func() { t.lockBegin(id) })
+}
+
+func (t *Tracer) lockBegin(id int) {
 	raw := t.clk.Now()
 	defer t.exclude(raw)
 	now := raw - t.excluded
@@ -272,6 +293,10 @@ func (t *Tracer) LockBegin(id int) {
 // LockEnd marks the release of mutex id (LOCK_END); the id must match the
 // open LockBegin.
 func (t *Tracer) LockEnd(id int) {
+	t.dispatch(EvLockEnd, func() { t.lockEnd(id) })
+}
+
+func (t *Tracer) lockEnd(id int) {
 	raw := t.clk.Now()
 	defer t.exclude(raw)
 	now := raw - t.excluded

@@ -234,11 +234,16 @@ func (n *Node) Clone() *Node {
 	return &cp
 }
 
-// Errors reported by Validate.
+// ErrMalformed is the family sentinel for structural tree errors: every
+// error Validate returns wraps it, so callers can errors.Is against one
+// value without enumerating the specific invariant violated.
+var ErrMalformed = errors.New("tree: malformed program tree")
+
+// Errors reported by Validate; each wraps ErrMalformed.
 var (
-	ErrBadChild  = errors.New("tree: node kind not allowed under parent")
-	ErrLeafChild = errors.New("tree: U/L nodes must be leaves")
-	ErrNegLen    = errors.New("tree: negative node length")
+	ErrBadChild  = fmt.Errorf("%w: node kind not allowed under parent", ErrMalformed)
+	ErrLeafChild = fmt.Errorf("%w: U/L nodes must be leaves", ErrMalformed)
+	ErrNegLen    = fmt.Errorf("%w: negative node length", ErrMalformed)
 )
 
 // Validate checks the structural invariants of a program tree rooted at a
@@ -250,7 +255,7 @@ var (
 //   - U and L nodes are leaves with non-negative lengths.
 func (n *Node) Validate() error {
 	if n.Kind != Root {
-		return fmt.Errorf("tree: Validate called on %v node, want Root", n.Kind)
+		return fmt.Errorf("%w: Validate called on %v node, want Root", ErrMalformed, n.Kind)
 	}
 	return n.validate(nil)
 }

@@ -1,6 +1,7 @@
 package prophet
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,6 +78,11 @@ type Estimate struct {
 	Speedup float64
 	// Time is the predicted parallel execution time in cycles.
 	Time clock.Cycles
+	// Err is the typed error of a failed prediction (nil on success);
+	// Speedup and Time are zero when set. The error also comes back as
+	// the second return of EstimateCtx — the field exists so batched
+	// results (Curve) carry their per-point failures.
+	Err error
 }
 
 func (p *Profile) threadsOf(req Request) int {
@@ -86,9 +92,31 @@ func (p *Profile) threadsOf(req Request) int {
 	return p.opts.Machine.Normalized().Cores
 }
 
-// Estimate runs one prediction against the profile.
+// Estimate runs one prediction against the profile. It never panics: a
+// failed prediction returns with Err set (and zero Speedup/Time).
 func (p *Profile) Estimate(req Request) Estimate {
+	est, _ := p.EstimateCtx(context.Background(), req)
+	return est
+}
+
+// EstimateCtx is Estimate with cancellation and typed errors: the emulated
+// machine runs (Synthesizer) and the FF's event loop poll ctx, and
+// simulation failures — a deadlocked emulation (ErrDeadlock, with the wait
+// graph in *DeadlockError), a watchdog budget (ErrBudgetExceeded), a
+// malformed tree — return as errors instead of panicking. The returned
+// Estimate carries the same error in its Err field.
+func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, err error) {
+	defer func() {
+		recoverToError(&err)
+		if err != nil {
+			est = Estimate{Request: req, Err: err}
+		}
+	}()
 	t := p.threadsOf(req)
+	req.Threads = t
+	if err := ctx.Err(); err != nil {
+		return Estimate{Request: req, Err: err}, err
+	}
 	useMem := req.MemoryModel && p.Model != nil
 	var speedup float64
 	switch req.Method {
@@ -101,7 +129,7 @@ func (p *Profile) Estimate(req Request) Estimate {
 			Machine:   p.opts.Machine,
 			OmpOv:     omprt.DefaultOverheads(),
 		}
-		speedup = s.Speedup(p.Tree)
+		speedup, err = s.SpeedupCtx(ctx, p.Tree)
 	case Suitability:
 		s := &baseline.Suitability{Threads: t}
 		speedup = s.Speedup(p.Tree)
@@ -116,26 +144,41 @@ func (p *Profile) Estimate(req Request) Estimate {
 			Ov:        omprt.DefaultOverheads(),
 			UseBurden: useMem,
 		}
-		speedup = e.Speedup(p.Tree)
+		speedup, err = e.SpeedupCtx(ctx, p.Tree)
+	}
+	if err != nil {
+		return Estimate{Request: req, Err: err}, err
 	}
 	var predTime clock.Cycles
 	if speedup > 0 {
 		predTime = clock.Cycles(float64(p.SerialCycles)/speedup + 0.5)
 	}
-	req.Threads = t
-	return Estimate{Request: req, Speedup: speedup, Time: predTime}
+	return Estimate{Request: req, Speedup: speedup, Time: predTime}, nil
 }
 
 // Curve evaluates the request across several thread counts (one line of a
 // Fig. 12 plot).
 func (p *Profile) Curve(req Request, threads []int) []Estimate {
+	out, _ := p.CurveCtx(context.Background(), req, threads)
+	return out
+}
+
+// CurveCtx is Curve with cancellation. Per-point failures are recorded in
+// each Estimate's Err field and the sweep continues; a canceled context
+// stops the sweep and returns the points evaluated so far along with the
+// cancellation error.
+func (p *Profile) CurveCtx(ctx context.Context, req Request, threads []int) ([]Estimate, error) {
 	out := make([]Estimate, 0, len(threads))
 	for _, t := range threads {
 		r := req
 		r.Threads = t
-		out = append(out, p.Estimate(r))
+		est, err := p.EstimateCtx(ctx, r)
+		out = append(out, est)
+		if err != nil && ctx.Err() != nil {
+			return out, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // EstimateOnHost runs the program-synthesis emulation on the real host
@@ -145,7 +188,27 @@ func (p *Profile) Curve(req Request, threads []int) []Estimate {
 // parallelized code"): on a multicore host it measures real parallel
 // behaviour; results are only as stable as the host is quiet.
 func (p *Profile) EstimateOnHost(req Request) Estimate {
+	est, _ := p.EstimateOnHostCtx(context.Background(), req)
+	return est
+}
+
+// EstimateOnHostCtx is EstimateOnHost with panic containment and an entry
+// cancellation check. Once the host emulation is launched it runs to
+// completion — real goroutines spinning real delays have no preemption
+// point the library could honour without perturbing the measurement.
+func (p *Profile) EstimateOnHostCtx(ctx context.Context, req Request) (est Estimate, err error) {
 	t := p.threadsOf(req)
+	req.Threads = t
+	req.Method = Synthesizer
+	defer func() {
+		recoverToError(&err)
+		if err != nil {
+			est = Estimate{Request: req, Err: err}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return Estimate{Request: req, Err: err}, err
+	}
 	s := &hostexec.HostSynthesizer{
 		Threads:   t,
 		Paradigm:  req.Paradigm,
@@ -157,9 +220,7 @@ func (p *Profile) EstimateOnHost(req Request) Estimate {
 	if speedup > 0 {
 		predTime = clock.Cycles(float64(p.SerialCycles)/speedup + 0.5)
 	}
-	req.Threads = t
-	req.Method = Synthesizer
-	return Estimate{Request: req, Speedup: speedup, Time: predTime}
+	return Estimate{Request: req, Speedup: speedup, Time: predTime}, nil
 }
 
 // ExplainBurden returns the memory-model internals (Eq. 1–5 intermediates)
@@ -192,8 +253,17 @@ func (p *Profile) Regions() []Region {
 // to a user of the real tool, but essential for validating predictions —
 // §VII's "Real" series).
 func (p *Profile) RealSpeedup(req Request) float64 {
+	s, _ := p.RealSpeedupCtx(context.Background(), req)
+	return s
+}
+
+// RealSpeedupCtx is RealSpeedup with cancellation and typed errors: a
+// ground-truth run that deadlocks or exceeds the machine's watchdog budget
+// returns the typed error instead of panicking.
+func (p *Profile) RealSpeedupCtx(ctx context.Context, req Request) (s float64, err error) {
+	defer recoverToError(&err)
 	t := p.threadsOf(req)
-	return realrun.Speedup(p.Tree, realrun.Config{
+	return realrun.SpeedupCtx(ctx, p.Tree, realrun.Config{
 		Machine:  p.opts.Machine,
 		Threads:  t,
 		Paradigm: req.Paradigm,

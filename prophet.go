@@ -26,6 +26,7 @@
 package prophet
 
 import (
+	"context"
 	"sort"
 
 	"prophet/internal/clock"
@@ -107,7 +108,7 @@ type Profile struct {
 // instead of racing to duplicate it.
 var calibrated sweep.Cache[sim.Config, *memmodel.Model]
 
-func modelFor(mc sim.Config, threads []int) (*memmodel.Model, error) {
+func modelFor(ctx context.Context, mc sim.Config, threads []int) (*memmodel.Model, error) {
 	key := mc.Normalized()
 	return calibrated.Get(key, func() (*memmodel.Model, error) {
 		// Calibrate over a full ladder up to the core count, not just the
@@ -127,7 +128,7 @@ func modelFor(mc sim.Config, threads []int) (*memmodel.Model, error) {
 			ts = append(ts, t)
 		}
 		sort.Ints(ts)
-		m, _, err := memmodel.Calibrate(key, ts)
+		m, _, err := memmodel.CalibrateCtx(ctx, key, ts)
 		return m, err
 	})
 }
@@ -135,12 +136,27 @@ func modelFor(mc sim.Config, threads []int) (*memmodel.Model, error) {
 // ProfileProgram profiles prog (serially, on the virtual cycle clock),
 // compresses the tree, and attaches counters and burden factors.
 func ProfileProgram(prog Program, opts *Options) (*Profile, error) {
+	return ProfileProgramCtx(context.Background(), prog, opts)
+}
+
+// ProfileProgramCtx is ProfileProgram with cancellation: ctx gates the
+// profiling run and the memory-model calibration (the expensive part; a
+// canceled calibration is not cached, so a later call with a live context
+// recalibrates). All errors are typed — errors.Is against the prophet
+// sentinels — and panics anywhere below this boundary, including in the
+// user's annotated program body, return as *PanicError instead of
+// crashing the caller.
+func ProfileProgramCtx(ctx context.Context, prog Program, opts *Options) (p *Profile, err error) {
+	defer recoverToError(&err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := opts.withDefaults()
 	root, prof, err := trace.Profile(prog, o.Machine.DRAM)
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{
+	p = &Profile{
 		Tree:         root,
 		Counters:     prof.Counters(),
 		SerialCycles: root.TotalLen(),
@@ -155,7 +171,7 @@ func ProfileProgram(prog Program, opts *Options) (*Profile, error) {
 	if !o.DisableMemoryModel {
 		m := o.MemModel
 		if m == nil {
-			m, err = modelFor(o.Machine, o.ThreadCounts)
+			m, err = modelFor(ctx, o.Machine, o.ThreadCounts)
 			if err != nil {
 				return nil, err
 			}
@@ -175,17 +191,32 @@ func ProfileProgram(prog Program, opts *Options) (*Profile, error) {
 // Eq. 6/7). Results are cached per machine configuration; pass the model
 // to Options.MemModel, or marshal it to JSON for reuse across processes.
 func CalibrateModel(machine MachineConfig) (*MemModel, error) {
-	return modelFor(machine, DefaultThreadCounts())
+	return CalibrateModelCtx(context.Background(), machine)
+}
+
+// CalibrateModelCtx is CalibrateModel with cancellation.
+func CalibrateModelCtx(ctx context.Context, machine MachineConfig) (m *MemModel, err error) {
+	defer recoverToError(&err)
+	return modelFor(ctx, machine, DefaultThreadCounts())
 }
 
 // ProfileTree wraps an already-built program tree (e.g. loaded from JSON)
 // in a Profile so it can be estimated with the same API.
 func ProfileTree(root *tree.Node, opts *Options) (*Profile, error) {
+	return ProfileTreeCtx(context.Background(), root, opts)
+}
+
+// ProfileTreeCtx is ProfileTree with cancellation and panic containment.
+func ProfileTreeCtx(ctx context.Context, root *tree.Node, opts *Options) (p *Profile, err error) {
+	defer recoverToError(&err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := root.Validate(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
-	p := &Profile{
+	p = &Profile{
 		Tree:         root,
 		SerialCycles: root.TotalLen(),
 		opts:         o,
@@ -193,8 +224,7 @@ func ProfileTree(root *tree.Node, opts *Options) (*Profile, error) {
 	if !o.DisableMemoryModel {
 		m := o.MemModel
 		if m == nil {
-			var err error
-			m, err = modelFor(o.Machine, o.ThreadCounts)
+			m, err = modelFor(ctx, o.Machine, o.ThreadCounts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package prophet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -203,11 +204,11 @@ func TestMethodStrings(t *testing.T) {
 
 func TestModelCacheReuse(t *testing.T) {
 	mc := sim.Config{Cores: 4, Quantum: 10_000, ContextSwitch: -1}
-	m1, err := modelFor(mc, []int{2, 4})
+	m1, err := modelFor(context.Background(), mc, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := modelFor(mc, []int{2, 4})
+	m2, err := modelFor(context.Background(), mc, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
