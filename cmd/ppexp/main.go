@@ -11,9 +11,15 @@
 //	ppexp -bench NPB-FT,NPB-EP # restrict Fig. 12 to some benchmarks
 //	ppexp -csv dir             # also write CSV series/scatters into dir
 //	ppexp -workers 8           # sweep worker pool (0 = GOMAXPROCS, 1 = serial)
+//	ppexp -metrics m.json      # write a metrics snapshot ("-" = stdout)
 //
 // Experiment grids run on the internal/sweep worker pool; output is
 // byte-identical at every -workers setting.
+//
+// -metrics snapshots the harness's observability registry after all
+// experiments finish: pipeline stage wall times, DES event counts from
+// every simulated machine run, profile-cache hit/miss/dedup traffic and
+// per-cell sweep outcomes, as JSON with stable field names.
 //
 // Exit codes: 0 success; 1 a write or cell failure under -failfast;
 // 2 usage error; 3 the -timeout deadline expired (partial results are
@@ -29,23 +35,25 @@ import (
 	"path/filepath"
 	"strings"
 
+	"prophet"
 	"prophet/internal/experiments"
 	"prophet/internal/report"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "regenerate one figure: 4|5|7|11|12")
-		table    = flag.String("table", "", "regenerate one table: 1|3|overhead")
-		calib    = flag.Bool("calibration", false, "run the Eq. (6)/(7) calibration")
-		samples  = flag.Int("samples", 60, "Fig. 11 random samples per case (paper: 300)")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset for Fig. 12")
-		csvDir   = flag.String("csv", "", "directory for CSV output")
-		markdown = flag.Bool("md", false, "render tables as GitHub markdown instead of aligned text")
-		coresArg = flag.String("cores", "", "comma-separated core counts (default 2,4,6,8,10,12)")
-		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		timeout  = flag.Duration("timeout", 0, "stop starting new sweep cells after this duration and exit 3 (0 = no limit)")
-		failFast = flag.Bool("failfast", false, "cancel the remainder of a sweep when any cell fails")
+		fig        = flag.String("fig", "", "regenerate one figure: 4|5|7|11|12")
+		table      = flag.String("table", "", "regenerate one table: 1|3|overhead")
+		calib      = flag.Bool("calibration", false, "run the Eq. (6)/(7) calibration")
+		samples    = flag.Int("samples", 60, "Fig. 11 random samples per case (paper: 300)")
+		benches    = flag.String("bench", "", "comma-separated benchmark subset for Fig. 12")
+		csvDir     = flag.String("csv", "", "directory for CSV output")
+		markdown   = flag.Bool("md", false, "render tables as GitHub markdown instead of aligned text")
+		coresArg   = flag.String("cores", "", "comma-separated core counts (default 2,4,6,8,10,12)")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "stop starting new sweep cells after this duration and exit 3 (0 = no limit)")
+		failFast   = flag.Bool("failfast", false, "cancel the remainder of a sweep when any cell fails")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -57,15 +65,16 @@ func main() {
 	}
 
 	cfg := experiments.Config{Samples: *samples, Workers: *workers, FailFast: *failFast}
+	if *metricsOut != "" {
+		cfg.Metrics = &prophet.Metrics{}
+	}
 	if *coresArg != "" {
-		for _, p := range strings.Split(*coresArg, ",") {
-			var v int
-			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil || v < 1 {
-				fmt.Fprintf(os.Stderr, "bad core count %q\n", p)
-				os.Exit(2)
-			}
-			cfg.Cores = append(cfg.Cores, v)
+		cores, err := prophet.ParseCores(*coresArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+		cfg.Cores = cores
 	}
 	var names []string
 	if *benches != "" {
@@ -144,6 +153,26 @@ func main() {
 			if *csvDir != "" {
 				writeCSV(*csvDir, "calibration-"+slug(s.Name)+".csv", s.WriteCSV)
 			}
+		}
+	}
+
+	if cfg.Metrics != nil {
+		mout := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metrics export:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			mout = f
+		}
+		if err := prophet.WriteMetricsJSON(mout, cfg.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics export:", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprintln(out, "metrics written to", *metricsOut)
 		}
 	}
 

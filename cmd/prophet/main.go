@@ -6,9 +6,16 @@
 //
 //	prophet -bench NPB-FT [-method synthesizer] [-cores 2,4,6,8,10,12]
 //	        [-sched dynamic1] [-mem] [-real] [-tree out.json] [-dot out.dot]
+//	        [-trace trace.json] [-metrics metrics.json]
 //	prophet -load tree.json [-method ff] ...
 //
 // Use -list to see the available benchmarks.
+//
+// -trace records every simulated machine run and emulation as Chrome
+// trace_event JSON (one lane per simulated core; load the file in
+// chrome://tracing or https://ui.perfetto.dev). -metrics writes a JSON
+// snapshot of pipeline metrics — stage wall times, DES event counts —
+// to the given file ("-" for stdout).
 //
 // Exit codes: 0 success; 1 profiling/prediction failure (a deadlocked
 // emulation also prints its wait graph); 2 usage error; 3 the -timeout
@@ -23,12 +30,9 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"prophet"
-	"prophet/internal/realrun"
 	"prophet/internal/report"
-	"prophet/internal/sim"
 	"prophet/internal/workloads"
 )
 
@@ -56,22 +60,38 @@ func fail(stage string, err error) {
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "benchmark to analyze (see -list)")
-		loadPath  = flag.String("load", "", "load a program tree exported with -tree instead of profiling a benchmark")
-		list      = flag.Bool("list", false, "list available benchmarks")
-		method    = flag.String("method", "ff", "prediction method: ff | synthesizer | suitability | amdahl | critical-path")
-		coresFlag = flag.String("cores", "2,4,6,8,10,12", "comma-separated CPU counts")
-		schedName = flag.String("sched", "", "OpenMP schedule: static | static1 | dynamic1 | guided (default: the benchmark's)")
-		useMem    = flag.Bool("mem", true, "apply the memory performance model (PredM)")
-		withReal  = flag.Bool("real", false, "also run the machine ground truth (slow)")
-		treeOut   = flag.String("tree", "", "write the program tree as JSON to this file")
-		dotOut    = flag.String("dot", "", "write the program tree as Graphviz DOT to this file")
-		regions   = flag.Bool("regions", false, "print the per-region work/span/self-parallelism profile")
-		timeline  = flag.Bool("timeline", false, "render a per-core timeline of the machine ground truth at the largest core count")
-		advise    = flag.Bool("advise", false, "sweep paradigms/schedules/cores and print a recommendation")
-		timeout   = flag.Duration("timeout", 0, "abort profiling and prediction after this duration, exiting 3 (0 = no limit)")
+		benchName  = flag.String("bench", "", "benchmark to analyze (see -list)")
+		loadPath   = flag.String("load", "", "load a program tree exported with -tree instead of profiling a benchmark")
+		list       = flag.Bool("list", false, "list available benchmarks")
+		method     = flag.String("method", "ff", "prediction method: ff | synthesizer | suitability | amdahl | critical-path")
+		coresFlag  = flag.String("cores", "2,4,6,8,10,12", "comma-separated CPU counts")
+		schedName  = flag.String("sched", "", "OpenMP schedule: static | static1 | dynamic1 | guided (default: the benchmark's)")
+		useMem     = flag.Bool("mem", true, "apply the memory performance model (PredM)")
+		withReal   = flag.Bool("real", false, "also run the machine ground truth (slow)")
+		treeOut    = flag.String("tree", "", "write the program tree as JSON to this file")
+		dotOut     = flag.String("dot", "", "write the program tree as Graphviz DOT to this file")
+		regions    = flag.Bool("regions", false, "print the per-region work/span/self-parallelism profile")
+		timeline   = flag.Bool("timeline", false, "render a per-core timeline of the machine ground truth at the largest core count")
+		advise     = flag.Bool("advise", false, "sweep paradigms/schedules/cores and print a recommendation")
+		timeout    = flag.Duration("timeout", 0, "abort profiling and prediction after this duration, exiting 3 (0 = no limit)")
+		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON of the simulated machine runs to this file")
+		metricsOut = flag.String("metrics", "", "write a pipeline metrics snapshot as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
+
+	var (
+		traceBuf *prophet.TraceBuffer
+		metrics  *prophet.Metrics
+		observer prophet.Observer
+	)
+	if *traceOut != "" {
+		traceBuf = &prophet.TraceBuffer{}
+		observer.Trace = traceBuf
+	}
+	if *metricsOut != "" {
+		metrics = &prophet.Metrics{}
+		observer.Metrics = metrics
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -92,12 +112,12 @@ func main() {
 		return
 	}
 
-	cores, err := parseCores(*coresFlag)
+	cores, err := prophet.ParseCores(*coresFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	m, err := parseMethod(*method)
+	m, err := prophet.ParseMethod(*method)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -120,7 +140,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tree parse:", err)
 			os.Exit(2)
 		}
-		prof, err = prophet.ProfileTreeCtx(ctx, &root, &prophet.Options{ThreadCounts: cores})
+		prof, err = prophet.ProfileTreeCtx(ctx, &root, &prophet.Options{ThreadCounts: cores, Observer: observer})
 		if err != nil {
 			fail("profile", err)
 		}
@@ -133,7 +153,7 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("profiling %s (%s)...\n", w.Name, w.Desc)
-		prof, err = prophet.ProfileProgramCtx(ctx, w.Program, &prophet.Options{ThreadCounts: cores})
+		prof, err = prophet.ProfileProgramCtx(ctx, w.Program, &prophet.Options{ThreadCounts: cores, Observer: observer})
 		if err != nil {
 			fail("profile", err)
 		}
@@ -143,7 +163,7 @@ func main() {
 		fmt.Printf("serial: %d cycles; tree: %s\n\n", prof.SerialCycles, prof.Compression)
 	}
 	if *schedName != "" {
-		sched, err = parseSched(*schedName)
+		sched, err = prophet.ParseSched(*schedName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -180,17 +200,15 @@ func main() {
 	}
 
 	if *timeline {
-		rec := &sim.Recorder{}
 		top := cores[len(cores)-1]
-		realrun.TimeTraced(prof.Tree, realrun.Config{
-			Machine: prophet.DefaultMachine(), Threads: top,
-			Paradigm: paradigm, Sched: sched,
-		}, rec)
-		fmt.Printf("machine execution, %d threads:\n", top)
-		if err := rec.Gantt(os.Stdout, 100); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		gantt, _, err := prof.TimelineCtx(ctx, prophet.Request{
+			Threads: top, Paradigm: paradigm, Sched: sched,
+		}, 100)
+		if err != nil {
+			fail("timeline", err)
 		}
+		fmt.Printf("machine execution, %d threads:\n", top)
+		fmt.Print(gantt)
 		fmt.Println()
 	}
 
@@ -236,46 +254,39 @@ func main() {
 		}
 		fmt.Println("dot written to", *dotOut)
 	}
-}
 
-func parseCores(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad core count %q", part)
+	if traceBuf != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = traceBuf.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
-		out = append(out, v)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events; load in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, traceBuf.Len())
 	}
-	return out, nil
-}
-
-func parseMethod(s string) (prophet.Method, error) {
-	switch s {
-	case "ff":
-		return prophet.FastForward, nil
-	case "synthesizer", "syn":
-		return prophet.Synthesizer, nil
-	case "suitability", "suit":
-		return prophet.Suitability, nil
-	case "amdahl":
-		return prophet.AmdahlLaw, nil
-	case "critical-path", "kismet":
-		return prophet.CriticalPathBound, nil
+	if metrics != nil {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metrics export:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := prophet.WriteMetricsJSON(out, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics export:", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Println("metrics written to", *metricsOut)
+		}
 	}
-	return 0, fmt.Errorf("unknown method %q", s)
-}
-
-func parseSched(s string) (prophet.Sched, error) {
-	switch s {
-	case "static":
-		return prophet.Static, nil
-	case "static1":
-		return prophet.Static1, nil
-	case "dynamic1":
-		return prophet.Dynamic1, nil
-	case "guided":
-		return prophet.Guided, nil
-	}
-	return prophet.Sched{}, fmt.Errorf("unknown schedule %q", s)
 }

@@ -6,14 +6,17 @@ import (
 	"prophet"
 )
 
+// The flag values this command accepts are parsed by the public
+// prophet.Parse* family; these tests pin the CLI spellings.
+
 func TestParseCores(t *testing.T) {
-	got, err := parseCores("2, 4,12")
+	got, err := prophet.ParseCores("2, 4,12")
 	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 12 {
-		t.Fatalf("parseCores = %v, %v", got, err)
+		t.Fatalf("ParseCores = %v, %v", got, err)
 	}
 	for _, bad := range []string{"", "a", "0", "-1", "2,,4"} {
-		if _, err := parseCores(bad); err == nil {
-			t.Errorf("parseCores(%q) accepted", bad)
+		if _, err := prophet.ParseCores(bad); err == nil {
+			t.Errorf("ParseCores(%q) accepted", bad)
 		}
 	}
 }
@@ -30,29 +33,37 @@ func TestParseMethod(t *testing.T) {
 		"kismet":        prophet.CriticalPathBound,
 	}
 	for s, want := range cases {
-		got, err := parseMethod(s)
+		got, err := prophet.ParseMethod(s)
 		if err != nil || got != want {
-			t.Errorf("parseMethod(%q) = %v, %v", s, got, err)
+			t.Errorf("ParseMethod(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := parseMethod("bogus"); err == nil {
+	if _, err := prophet.ParseMethod("bogus"); err == nil {
 		t.Error("bogus method accepted")
 	}
 }
 
 func TestParseSched(t *testing.T) {
 	for s, want := range map[string]prophet.Sched{
-		"static":   prophet.Static,
-		"static1":  prophet.Static1,
-		"dynamic1": prophet.Dynamic1,
-		"guided":   prophet.Guided,
+		"static":       prophet.Static,
+		"static1":      prophet.Static1,
+		"dynamic1":     prophet.Dynamic1,
+		"guided":       prophet.Guided,
+		"(static)":     prophet.Static,
+		"(static,1)":   prophet.Static1,
+		"(dynamic,1)":  prophet.Dynamic1,
+		"(guided)":     prophet.Guided,
+		"static,9":     {Kind: prophet.Static1.Kind, Chunk: 9}, // (static,9)
+		"(dynamic,16)": {Kind: prophet.Dynamic1.Kind, Chunk: 16},
 	} {
-		got, err := parseSched(s)
+		got, err := prophet.ParseSched(s)
 		if err != nil || got != want {
-			t.Errorf("parseSched(%q) = %v, %v", s, got, err)
+			t.Errorf("ParseSched(%q) = %v, %v (want %v)", s, got, err, want)
 		}
 	}
-	if _, err := parseSched("static,9"); err == nil {
-		t.Error("unknown schedule accepted")
+	for _, bad := range []string{"", "bogus", "static,0", "static,-3", "(static", "guided,2"} {
+		if _, err := prophet.ParseSched(bad); err == nil {
+			t.Errorf("ParseSched(%q) accepted", bad)
+		}
 	}
 }

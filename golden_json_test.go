@@ -1,0 +1,87 @@
+package prophet
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// update regenerates the golden file instead of comparing:
+//
+//	go test . -run TestEstimateGoldenJSON -update
+var update = flag.Bool("update", false, "rewrite golden files under results/golden/")
+
+// TestEstimateGoldenJSON pins the wire format of Request/Estimate against
+// a checked-in golden file: the JSON field names and value spellings are
+// a public contract (CSV/JSON consumers parse them), so any change must
+// show up as a reviewed golden diff. The same bytes must also unmarshal
+// back into equivalent estimates (Err flattens to its message).
+func TestEstimateGoldenJSON(t *testing.T) {
+	ests := []Estimate{
+		{
+			Request: Request{Method: FastForward, Threads: 8, Paradigm: OpenMP, Sched: Static, MemoryModel: true},
+			Speedup: 7.62,
+			Time:    629_921,
+		},
+		{
+			Request: Request{Method: Synthesizer, Threads: 12, Paradigm: Cilk, Sched: Dynamic1},
+			Speedup: 10.91,
+			Time:    440_071,
+		},
+		{
+			Request: Request{Method: Suitability, Threads: 4, Sched: Sched{Kind: Static1.Kind, Chunk: 16}},
+			Speedup: 3.2,
+			Time:    1_500_000,
+		},
+		{
+			Request: Request{Method: CriticalPathBound, Threads: 6, Sched: Guided},
+			Err:     errors.New("sim: deadlock: all runnable threads blocked"),
+		},
+	}
+	data, err := json.MarshalIndent(ests, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	path := filepath.Join("results", "golden", "estimates.json")
+	if *update {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test . -update`): %v", err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("estimate JSON drifted from golden file %s:\ngot:\n%s\nwant:\n%s", path, data, want)
+	}
+
+	var back []Estimate
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden file does not unmarshal: %v", err)
+	}
+	if len(back) != len(ests) {
+		t.Fatalf("round-trip length %d, want %d", len(back), len(ests))
+	}
+	for i := range ests {
+		if !reflect.DeepEqual(back[i].Request, ests[i].Request) {
+			t.Errorf("[%d] request round-trip: got %+v, want %+v", i, back[i].Request, ests[i].Request)
+		}
+		if back[i].Speedup != ests[i].Speedup || back[i].Time != ests[i].Time {
+			t.Errorf("[%d] value round-trip: got %+v", i, back[i])
+		}
+		switch {
+		case ests[i].Err == nil && back[i].Err != nil:
+			t.Errorf("[%d] spurious err %v", i, back[i].Err)
+		case ests[i].Err != nil && (back[i].Err == nil || back[i].Err.Error() != ests[i].Err.Error()):
+			t.Errorf("[%d] err round-trip: got %v, want %v", i, back[i].Err, ests[i].Err)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"prophet/internal/clock"
 	"prophet/internal/ff"
 	"prophet/internal/memmodel"
+	"prophet/internal/obs"
 	"prophet/internal/report"
 	"prophet/internal/sim"
 	"prophet/internal/stats"
@@ -51,6 +52,11 @@ type Config struct {
 	// FailFast cancels the remainder of a sweep when any cell errors:
 	// in-flight cells drain, unclaimed cells are marked Skipped.
 	FailFast bool
+	// Metrics, when set, aggregates observability across the harness:
+	// pipeline stage wall times (stage.*), DES counters from every
+	// machine run (sim.*), profile-cache traffic (cache.*) and sweep
+	// cell outcomes (sweep.*). Nil disables metrics at no cost.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"prophet"
+	"prophet/internal/obs"
 	"prophet/internal/sweep"
 	"prophet/internal/workloads"
 )
@@ -48,11 +49,22 @@ func NewCtx(ctx context.Context, cfg Config) *Harness {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Harness{
+	h := &Harness{
 		cfg: cfg,
 		ctx: ctx,
-		eng: sweep.Engine{Workers: cfg.Workers, FailFast: cfg.FailFast},
+		eng: sweep.Engine{Workers: cfg.Workers, FailFast: cfg.FailFast, Metrics: cfg.Metrics},
 	}
+	// One set of cache counters, shared by all three profile caches (nil
+	// handles — a no-op — when metrics are disabled).
+	ctrs := sweep.CacheCounters{
+		Hits:   cfg.Metrics.Counter(obs.MCacheHits),
+		Misses: cfg.Metrics.Counter(obs.MCacheMisses),
+		Dedups: cfg.Metrics.Counter(obs.MCacheDedups),
+	}
+	h.t1.Instrument(ctrs)
+	h.t2.Instrument(ctrs)
+	h.bench.Instrument(ctrs)
+	return h
 }
 
 // Config returns the harness configuration with defaults applied.
@@ -62,13 +74,21 @@ func (h *Harness) Config() Config { return h.cfg }
 // sweeps (Fig. 11, ranking): the memory model is off, as the generated
 // Test1/Test2 programs carry no memory traffic.
 func (h *Harness) validationOpts() *prophet.Options {
-	return &prophet.Options{Machine: h.cfg.Machine, DisableMemoryModel: true}
+	return &prophet.Options{
+		Machine:            h.cfg.Machine,
+		DisableMemoryModel: true,
+		Observer:           prophet.Observer{Metrics: h.cfg.Metrics},
+	}
 }
 
 // benchOpts are the profiling options of the benchmark sweeps (Fig. 12,
 // Table III): full memory model over the configured thread counts.
 func (h *Harness) benchOpts() *prophet.Options {
-	return &prophet.Options{Machine: h.cfg.Machine, ThreadCounts: h.cfg.Cores}
+	return &prophet.Options{
+		Machine:      h.cfg.Machine,
+		ThreadCounts: h.cfg.Cores,
+		Observer:     prophet.Observer{Metrics: h.cfg.Metrics},
+	}
 }
 
 // profileTest1 profiles one Test1 sample through the shared cache.
@@ -100,6 +120,7 @@ func (h *Harness) CacheStats() string {
 	t1h, t1m := h.t1.Stats()
 	t2h, t2m := h.t2.Stats()
 	bh, bm := h.bench.Stats()
-	return fmt.Sprintf("profile cache: test1 %d/%d hit, test2 %d/%d hit, bench %d/%d hit",
-		t1h, t1h+t1m, t2h, t2h+t2m, bh, bh+bm)
+	return fmt.Sprintf("profile cache: test1 %d/%d hit, test2 %d/%d hit, bench %d/%d hit, %d deduped in flight",
+		t1h, t1h+t1m, t2h, t2h+t2m, bh, bh+bm,
+		h.t1.Dedups()+h.t2.Dedups()+h.bench.Dedups())
 }

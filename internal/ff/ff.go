@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"prophet/internal/clock"
+	"prophet/internal/obs"
 	"prophet/internal/omprt"
 	"prophet/internal/tree"
 )
@@ -50,6 +51,10 @@ type Emulator struct {
 	// (the paper's "PredM"); otherwise lengths are used as profiled
 	// ("Pred").
 	UseBurden bool
+	// Tracer, when set, receives one KFFStep event per emulated segment
+	// (worker pseudo-clock advance on an abstract CPU); nil disables
+	// tracing at the cost of one branch per segment.
+	Tracer obs.ExecTracer
 }
 
 // PredictTime returns the emulated parallel execution time of the whole
@@ -131,6 +136,7 @@ type state struct {
 	sched    omprt.Sched
 	ctx      context.Context
 	steps    int64 // events since the last cancellation poll
+	tracer   obs.ExecTracer
 }
 
 // tick polls the cancellation context every 4096 emulated events; on
@@ -159,6 +165,7 @@ func (e *Emulator) emulateTopSectionCtx(ctx context.Context, sec *tree.Node) clo
 		ov:       e.Ov,
 		sched:    e.Sched,
 		ctx:      ctx,
+		tracer:   e.Tracer,
 	}
 	if sec.Pipeline {
 		return emulatePipeline(st, sec, 0, p)
@@ -405,7 +412,11 @@ func execSegment(st *state, w *worker, seg *tree.Node, p int) {
 		// the worker clock like computation. The machine-backed
 		// emulators model W faithfully (cores freed, real core
 		// limit); the FF is accurate only while workers <= CPUs.
+		start := w.time
 		w.time += st.scaled(seg.Len)
+		if st.tracer != nil {
+			st.tracer.Exec(obs.ExecEvent{Kind: obs.KFFStep, Time: start, End: w.time, Core: w.cpu, Thread: w.id, Lock: -1})
+		}
 	case tree.L:
 		t := w.time
 		if f := st.lockFree[seg.LockID]; f > t {
@@ -413,6 +424,9 @@ func execSegment(st *state, w *worker, seg *tree.Node, p int) {
 		}
 		t += st.ov.LockEnter + st.scaled(seg.Len) + st.ov.LockExit
 		st.lockFree[seg.LockID] = t
+		if st.tracer != nil {
+			st.tracer.Exec(obs.ExecEvent{Kind: obs.KFFStep, Time: w.time, End: t, Core: w.cpu, Thread: w.id, Lock: seg.LockID})
+		}
 		w.time = t
 	case tree.Sec:
 		// Nested parallelism: emulated in place with round-robin CPU

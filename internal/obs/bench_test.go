@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// disabledOps exercises every disabled-observability code path an
+// instrumented pipeline hits: nil counter/histogram handles from a nil
+// registry, the no-op timer, and the nil-tracer guard emitters use.
+func disabledOps(r *Registry, tr ExecTracer, i int) {
+	c := r.Counter("sweep.cells_ok")
+	h := r.Histogram("stage.emulate_ns")
+	c.Inc()
+	c.Add(int64(i))
+	h.Observe(int64(i))
+	h.ObserveDuration(time.Duration(i))
+	t := r.StartTimer("stage.profile_ns")
+	t.Stop()
+	if tr != nil { // the guard every engine emitter uses
+		tr.Exec(ExecEvent{Kind: KSlice, Time: 0, End: 1, Thread: i})
+	}
+}
+
+// BenchmarkObsDisabled pins the disabled-observability cost: every no-op
+// hook together must allocate nothing (the CI observability job asserts
+// 0 allocs/op on this benchmark).
+func BenchmarkObsDisabled(b *testing.B) {
+	var r *Registry   // metrics disabled
+	var tr ExecTracer // tracing disabled
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledOps(r, tr, i)
+	}
+}
+
+// TestObsDisabledZeroAlloc is the same assertion as a plain test, so
+// `go test` catches an allocation regression without running benchmarks.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	var r *Registry
+	var tr ExecTracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		disabledOps(r, tr, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability hooks allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkObsEnabled is the enabled-path reference point (registry
+// lookups resolved per op, the worst case for instrumented code).
+func BenchmarkObsEnabled(b *testing.B) {
+	r := &Registry{}
+	tr := &TraceBuffer{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledOps(r, tr, i)
+	}
+}

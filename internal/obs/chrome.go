@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export. The format is the Trace Event Format used by
+// chrome://tracing and Perfetto: a JSON object with a "traceEvents" array
+// of complete ("X"), instant ("i") and metadata ("M") events. Machine
+// events render as process 0 ("machine") with one lane (tid) per
+// simulated core; fast-forward emulator steps render as process 1 ("ff")
+// with one lane per abstract CPU. Timestamps are virtual cycles written
+// into the ts/dur microsecond fields, so 1 cycle displays as 1 µs.
+
+const (
+	// chromePIDMachine is the trace process of simulated-machine events.
+	chromePIDMachine = 0
+	// chromePIDFF is the trace process of fast-forward emulator events.
+	chromePIDFF = 1
+	// chromeTIDScheduler is the lane for instants that occur while the
+	// thread holds no core (e.g. an unblock into the ready queue).
+	chromeTIDScheduler = 1_000_000
+)
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports the buffered events as Chrome trace_event
+// JSON. The output always validates against ValidateChromeTrace.
+func (b *TraceBuffer) WriteChromeTrace(w io.Writer) error {
+	events := b.Events()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)+8)}
+
+	meta := func(pid int, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	lane := func(pid, tid int, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Metadata: name the processes and every lane that will appear.
+	meta(chromePIDMachine, "machine")
+	for _, c := range b.Cores() {
+		lane(chromePIDMachine, c, fmt.Sprintf("core %d", c))
+	}
+	ffCPUs := map[int]bool{}
+	needSched := false
+	for _, ev := range events {
+		switch {
+		case ev.Kind == KFFStep:
+			ffCPUs[ev.Core] = true
+		case ev.Core < 0:
+			needSched = true
+		}
+	}
+	if len(ffCPUs) > 0 {
+		meta(chromePIDFF, "ff")
+		for c := range ffCPUs {
+			lane(chromePIDFF, c, fmt.Sprintf("cpu %d", c))
+		}
+	}
+	if needSched {
+		lane(chromePIDMachine, chromeTIDScheduler, "scheduler")
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			TS:   int64(ev.Time),
+			PID:  chromePIDMachine,
+			TID:  ev.Core,
+			Args: map[string]any{"thread": ev.Thread},
+		}
+		if ev.Core < 0 {
+			ce.TID = chromeTIDScheduler
+		}
+		switch ev.Kind {
+		case KSlice:
+			ce.Name = fmt.Sprintf("thread %d", ev.Thread)
+			ce.Cat = "exec"
+			ce.Phase = "X"
+			ce.Dur = int64(ev.End - ev.Time)
+		case KFFStep:
+			ce.Name = fmt.Sprintf("worker %d", ev.Thread)
+			ce.Cat = "ff"
+			ce.Phase = "X"
+			ce.PID = chromePIDFF
+			ce.TID = ev.Core
+			ce.Dur = int64(ev.End - ev.Time)
+		default:
+			ce.Name = ev.Kind.String()
+			ce.Cat = "sched"
+			ce.Phase = "i"
+			ce.Scope = "t"
+			if ev.Lock >= 0 {
+				ce.Cat = "sync"
+				ce.Args["lock"] = ev.Lock
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// knownPhases are the trace_event phases the validator accepts; this
+// exporter only emits X, i and M, but files from other tools may carry
+// the full set.
+var knownPhases = map[string]bool{
+	"B": true, "E": true, "X": true, "i": true, "I": true, "C": true,
+	"b": true, "e": true, "n": true, "s": true, "t": true, "f": true,
+	"M": true, "P": true, "O": true, "N": true, "D": true,
+}
+
+// ValidateChromeTrace checks data against the Chrome trace-event schema:
+// a JSON object with a traceEvents array whose entries carry a name, a
+// known phase, pid/tid, non-negative timestamps, non-negative durations
+// on complete events, and an args.name on metadata events. It returns
+// nil for a loadable trace and a descriptive error otherwise.
+func ValidateChromeTrace(data []byte) error {
+	var raw struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("obs: trace is not a JSON object: %w", err)
+	}
+	if raw.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, msg := range raw.TraceEvents {
+		var ev struct {
+			Name  *string        `json:"name"`
+			Phase *string        `json:"ph"`
+			TS    *float64       `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			PID   *float64       `json:"pid"`
+			TID   *float64       `json:"tid"`
+			Args  map[string]any `json:"args"`
+		}
+		if err := json.Unmarshal(msg, &ev); err != nil {
+			return fmt.Errorf("obs: traceEvents[%d] malformed: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("obs: traceEvents[%d] has no name", i)
+		}
+		if ev.Phase == nil || !knownPhases[*ev.Phase] {
+			return fmt.Errorf("obs: traceEvents[%d] (%s) has unknown phase %v", i, *ev.Name, ev.Phase)
+		}
+		if ev.PID == nil {
+			return fmt.Errorf("obs: traceEvents[%d] (%s) has no pid", i, *ev.Name)
+		}
+		switch *ev.Phase {
+		case "M":
+			if ev.Args == nil || ev.Args["name"] == nil {
+				return fmt.Errorf("obs: traceEvents[%d] metadata event has no args.name", i)
+			}
+		default:
+			if ev.TID == nil {
+				return fmt.Errorf("obs: traceEvents[%d] (%s) has no tid", i, *ev.Name)
+			}
+			if ev.TS == nil || *ev.TS < 0 {
+				return fmt.Errorf("obs: traceEvents[%d] (%s) has missing or negative ts", i, *ev.Name)
+			}
+			if *ev.Phase == "X" && ev.Dur != nil && *ev.Dur < 0 {
+				return fmt.Errorf("obs: traceEvents[%d] (%s) has negative dur", i, *ev.Name)
+			}
+		}
+	}
+	return nil
+}

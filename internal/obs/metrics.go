@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic counter. A nil *Counter is a valid no-op
+// receiver, so instrumented code holds counter handles unconditionally
+// and pays a single predictable branch when metrics are disabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative deltas are ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram records an int64 value distribution in power-of-two buckets
+// (bucket i counts values v with bit-length i, i.e. 2^(i-1) <= v < 2^i;
+// bucket 0 counts values <= 0). Durations are recorded in nanoseconds.
+// A nil *Histogram is a valid no-op receiver.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [65]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bitLen(v)]++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d))
+}
+
+func bitLen(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Timer times one span into a histogram; obtain one from
+// Registry.StartTimer and call Stop when the span ends. The zero Timer
+// (from a nil registry) is a no-op and never reads the clock.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop records the elapsed time.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.ObserveDuration(time.Since(t.start))
+}
+
+// Registry holds named counters and histograms. The zero value is ready
+// to use; a nil *Registry is a valid disabled registry whose Counter and
+// Histogram methods return nil (no-op) handles, so pipeline code
+// resolves its handles once and never branches on "metrics on?" again.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// StartTimer starts a span timed into the named duration histogram. On a
+// nil registry it returns the no-op zero Timer without reading the clock.
+func (r *Registry) StartTimer(name string) Timer {
+	if r == nil {
+		return Timer{}
+	}
+	return Timer{h: r.Histogram(name), start: time.Now()}
+}
+
+// HistogramSnapshot is the JSON-stable summary of one histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the total of all observed values.
+	Sum int64 `json:"sum"`
+	// Min / Max / Mean summarize the distribution.
+	Min  int64   `json:"min"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+	// Buckets maps each power-of-two upper bound (as int64; the "<=0"
+	// bucket reports bound 0) to its observation count; empty buckets
+	// are omitted.
+	Buckets map[int64]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, JSON-marshalable view of a registry.
+type Snapshot struct {
+	// Counters maps counter names to their values.
+	Counters map[string]int64 `json:"counters"`
+	// Histograms maps histogram names to their summaries.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. A nil registry
+// snapshots to empty (but non-nil) maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = float64(h.sum) / float64(h.count)
+			hs.Buckets = map[int64]int64{}
+			for i, n := range h.buckets {
+				if n == 0 {
+					continue
+				}
+				bound := int64(0)
+				if i > 0 && i < 63 {
+					bound = int64(1) << i
+				} else if i >= 63 {
+					bound = math.MaxInt64
+				}
+				hs.Buckets[bound] = n
+			}
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON with deterministic key
+// order (encoding/json sorts map keys).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Names returns the sorted counter and histogram names (for tests and
+// report rendering).
+func (s Snapshot) Names() (counters, histograms []string) {
+	for n := range s.Counters {
+		counters = append(counters, n)
+	}
+	for n := range s.Histograms {
+		histograms = append(histograms, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(histograms)
+	return counters, histograms
+}

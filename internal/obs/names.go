@@ -1,0 +1,36 @@
+package obs
+
+// Canonical metric names: one vocabulary shared by the pipeline stages,
+// the simulator, and the sweep engine, so a metrics snapshot reads the
+// same whether it came from cmd/prophet, cmd/ppexp or a library caller.
+const (
+	// Pipeline stage wall times (nanosecond duration histograms).
+	MStageProfile   = "stage.profile_ns"
+	MStageCompress  = "stage.compress_ns"
+	MStageCalibrate = "stage.calibrate_ns"
+	MStageEmulate   = "stage.emulate_ns"
+
+	// Simulated-machine counters, aggregated over every machine run that
+	// carried the registry.
+	MSimRuns        = "sim.runs"
+	MSimEvents      = "sim.events"
+	MSimPreemptions = "sim.preemptions"
+	// MSimHeadroom is a histogram of remaining watchdog budget
+	// (MaxEvents - processed events) per run; only recorded when a
+	// MaxEvents budget is armed. A shrinking minimum warns that
+	// workloads are approaching their budget.
+	MSimHeadroom = "sim.watchdog_headroom_events"
+
+	// Sweep cell outcomes.
+	MSweepCellsOK      = "sweep.cells_ok"
+	MSweepCellsFailed  = "sweep.cells_failed"
+	MSweepCellsSkipped = "sweep.cells_skipped"
+
+	// Profile-cache traffic (sweep.Cache singleflight), aggregated over
+	// every cache instrumented with the registry.
+	MCacheHits   = "cache.hits"
+	MCacheMisses = "cache.misses"
+	// MCacheDedups counts hits that arrived while the compute was still
+	// in flight and were deduplicated onto it.
+	MCacheDedups = "cache.dedups"
+)

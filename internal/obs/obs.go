@@ -1,0 +1,194 @@
+// Package obs is the observability layer: execution tracing for the
+// simulated machine and the emulators, and a metrics registry for the
+// prediction pipeline.
+//
+// Both halves follow the same contract: **zero allocations and near-zero
+// cost when disabled**. A nil ExecTracer, a nil *Registry, a nil *Counter
+// and a nil *Histogram are all valid no-op receivers, so instrumented code
+// writes `tr.Exec(ev)` or `c.Inc()` unconditionally after a single nil
+// guard (for tracers) or with none at all (for metrics handles) and pays
+// nothing in sweeps that leave observability off — the property
+// BenchmarkObsDisabled pins at 0 allocs/op.
+//
+// The tracer records ExecEvents — schedule, preempt, block/unblock, lock
+// and work-slice events with virtual timestamps — from internal/sim, and
+// fast-forward step events from internal/ff. TraceBuffer collects them
+// and exports Chrome trace_event JSON (one lane per simulated core),
+// loadable in chrome://tracing or Perfetto, turning the paper's
+// hand-drawn Fig. 5/7 per-CPU timelines into real artifacts.
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"prophet/internal/clock"
+)
+
+// ExecKind enumerates execution-trace event kinds.
+type ExecKind uint8
+
+// Execution events. Slice and FFStep are duration events ([Time,End));
+// the rest are instants.
+const (
+	// KSlice: a thread occupied a core for [Time,End) (simulated
+	// machine work slice — the Gantt boxes of Fig. 5/7).
+	KSlice ExecKind = iota
+	// KSchedule: the OS scheduler placed a thread on a core.
+	KSchedule
+	// KPreempt: the quantum expired and the thread was involuntarily
+	// descheduled.
+	KPreempt
+	// KBlock: the thread blocked (lock wait, join, park, sleep).
+	KBlock
+	// KUnblock: a blocked thread became ready again.
+	KUnblock
+	// KSpawn: a new thread was created.
+	KSpawn
+	// KExit: a thread exited.
+	KExit
+	// KLockAcquire: the thread acquired a lock (immediately or by
+	// direct handoff).
+	KLockAcquire
+	// KLockBlocked: the thread found the lock held and joined its wait
+	// queue.
+	KLockBlocked
+	// KLockRelease: the thread released a lock.
+	KLockRelease
+	// KFFStep: the fast-forward emulator advanced a worker's pseudo
+	// clock over one segment ([Time,End) on an abstract CPU).
+	KFFStep
+)
+
+// String names the kind (the Chrome event name).
+func (k ExecKind) String() string {
+	switch k {
+	case KSlice:
+		return "slice"
+	case KSchedule:
+		return "schedule"
+	case KPreempt:
+		return "preempt"
+	case KBlock:
+		return "block"
+	case KUnblock:
+		return "unblock"
+	case KSpawn:
+		return "spawn"
+	case KExit:
+		return "exit"
+	case KLockAcquire:
+		return "lock-acquire"
+	case KLockBlocked:
+		return "lock-blocked"
+	case KLockRelease:
+		return "lock-release"
+	case KFFStep:
+		return "ff-step"
+	}
+	return "event(?)"
+}
+
+// ExecEvent is one execution-trace event. It is passed by value through
+// the ExecTracer interface, so emitting an event allocates nothing.
+type ExecEvent struct {
+	// Kind classifies the event.
+	Kind ExecKind
+	// Time is the virtual timestamp (cycles); for duration events the
+	// start.
+	Time clock.Cycles
+	// End is the end timestamp of duration events (KSlice, KFFStep);
+	// zero for instants.
+	End clock.Cycles
+	// Core is the core (or abstract CPU) index; -1 when the thread holds
+	// no core (e.g. an unblock of a thread still in the ready queue).
+	Core int
+	// Thread is the virtual thread (or FF worker) id.
+	Thread int
+	// Lock is the lock id of lock events; -1 otherwise.
+	Lock int
+}
+
+// ExecTracer receives execution events. Implementations are called from
+// the single-threaded simulation/emulation engines, in virtual-time
+// order per engine; they must not retain pointers into engine state
+// (events are self-contained values).
+//
+// A nil ExecTracer means tracing is disabled; emitters guard with a
+// single nil check.
+type ExecTracer interface {
+	Exec(ev ExecEvent)
+}
+
+// TraceBuffer is an ExecTracer that collects events in memory for later
+// export (Chrome trace JSON via WriteChromeTrace, or direct inspection
+// via Events). The zero value is ready to use. It is safe for concurrent
+// use: sequential machine runs of a thread-count curve, or parallel
+// sweep cells sharing one buffer, may all append to it.
+type TraceBuffer struct {
+	mu     sync.Mutex
+	events []ExecEvent
+}
+
+// Exec appends one event.
+func (b *TraceBuffer) Exec(ev ExecEvent) {
+	b.mu.Lock()
+	b.events = append(b.events, ev)
+	b.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Events returns a copy of the buffered events.
+func (b *TraceBuffer) Events() []ExecEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ExecEvent, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Reset discards all buffered events.
+func (b *TraceBuffer) Reset() {
+	b.mu.Lock()
+	b.events = b.events[:0]
+	b.mu.Unlock()
+}
+
+// Cores returns the sorted set of core indices that appear in machine
+// events (everything but KFFStep), i.e. the lanes a Chrome export will
+// contain for the machine process.
+func (b *TraceBuffer) Cores() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := map[int]bool{}
+	for _, ev := range b.events {
+		if ev.Kind != KFFStep && ev.Core >= 0 {
+			seen[ev.Core] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MultiTracer fans one event stream out to several tracers (e.g. a
+// TraceBuffer plus a live consumer). Nil members are skipped.
+type MultiTracer []ExecTracer
+
+// Exec forwards ev to every non-nil member.
+func (m MultiTracer) Exec(ev ExecEvent) {
+	for _, t := range m {
+		if t != nil {
+			t.Exec(ev)
+		}
+	}
+}

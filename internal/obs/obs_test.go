@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceBufferCollects(t *testing.T) {
+	var b TraceBuffer
+	b.Exec(ExecEvent{Kind: KSlice, Time: 10, End: 20, Core: 0, Thread: 1, Lock: -1})
+	b.Exec(ExecEvent{Kind: KLockAcquire, Time: 20, Core: 1, Thread: 2, Lock: 7})
+	b.Exec(ExecEvent{Kind: KFFStep, Time: 0, End: 5, Core: 3, Thread: 0, Lock: -1})
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	cores := b.Cores()
+	if len(cores) != 2 || cores[0] != 0 || cores[1] != 1 {
+		t.Fatalf("Cores = %v, want [0 1] (FF steps excluded)", cores)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	var b TraceBuffer
+	for core := 0; core < 4; core++ {
+		b.Exec(ExecEvent{Kind: KSchedule, Time: 0, Core: core, Thread: core, Lock: -1})
+		b.Exec(ExecEvent{Kind: KSlice, Time: 0, End: 100, Core: core, Thread: core, Lock: -1})
+		b.Exec(ExecEvent{Kind: KExit, Time: 100, Core: core, Thread: core, Lock: -1})
+	}
+	b.Exec(ExecEvent{Kind: KUnblock, Time: 50, Core: -1, Thread: 9, Lock: -1})
+	b.Exec(ExecEvent{Kind: KFFStep, Time: 0, End: 30, Core: 1, Thread: 2, Lock: -1})
+
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+
+	// One thread_name lane per machine core.
+	var raw struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[int]string{}
+	for _, ev := range raw.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" && ev.PID == chromePIDMachine {
+			lanes[ev.TID] = ev.Args["name"].(string)
+		}
+	}
+	for core := 0; core < 4; core++ {
+		if !strings.HasPrefix(lanes[core], "core ") {
+			t.Errorf("core %d lane missing or misnamed: %q (lanes %v)", core, lanes[core], lanes)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		data string
+	}{
+		{"not json", "nope"},
+		{"no traceEvents", `{}`},
+		{"missing name", `{"traceEvents":[{"ph":"X","ts":1,"pid":0,"tid":0}]}`},
+		{"unknown phase", `{"traceEvents":[{"name":"a","ph":"Z","ts":1,"pid":0,"tid":0}]}`},
+		{"missing ts", `{"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"pid":0,"tid":0}]}`},
+		{"negative dur", `{"traceEvents":[{"name":"a","ph":"X","ts":1,"dur":-2,"pid":0,"tid":0}]}`},
+		{"no pid", `{"traceEvents":[{"name":"a","ph":"i","ts":1,"tid":0}]}`},
+		{"metadata without args.name", `{"traceEvents":[{"name":"thread_name","ph":"M","pid":0}]}`},
+	}
+	for _, c := range bad {
+		if err := ValidateChromeTrace([]byte(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty trace rejected: %v", err)
+	}
+}
+
+// TestTraceFileValid validates an externally produced trace file (the CI
+// observability job points TRACE_FILE at a cmd/prophet -trace artifact).
+// Skipped when TRACE_FILE is unset.
+func TestTraceFileValid(t *testing.T) {
+	path := os.Getenv("TRACE_FILE")
+	if path == "" {
+		t.Skip("TRACE_FILE not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(data); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	// The acceptance bar: at least one machine core lane must exist.
+	var raw struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	coreLanes := 0
+	for _, ev := range raw.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" && ev.PID == chromePIDMachine {
+			if n, ok := ev.Args["name"].(string); ok && strings.HasPrefix(n, "core ") {
+				coreLanes++
+			}
+		}
+	}
+	if coreLanes == 0 {
+		t.Fatalf("%s: no per-core lanes in trace", path)
+	}
+	t.Logf("%s: %d events, %d core lanes", path, len(raw.TraceEvents), coreLanes)
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	var r Registry
+	c := r.Counter("sweep.cells_ok")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("sweep.cells_ok") != c {
+		t.Fatal("same name returned a different counter")
+	}
+
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(2 * time.Microsecond)
+
+	s := r.Snapshot()
+	if s.Counters["sweep.cells_ok"] != 5 {
+		t.Fatalf("snapshot counter = %d", s.Counters["sweep.cells_ok"])
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 5 || hs.Min != 1 || hs.Max != 2000 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["sweep.cells_ok"] != 5 || round.Histograms["lat"].Count != 5 {
+		t.Fatalf("round-tripped snapshot = %+v", round)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	tm := r.StartTimer("z")
+	c.Inc()
+	c.Add(10)
+	h.Observe(42)
+	h.ObserveDuration(time.Second)
+	tm.Stop()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var mt MultiTracer
+	mt.Exec(ExecEvent{}) // empty fan-out: no panic
+	MultiTracer{nil, nil}.Exec(ExecEvent{})
+}
+
+func TestSnapshotNames(t *testing.T) {
+	var r Registry
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Histogram("h").Observe(1)
+	cs, hs := r.Snapshot().Names()
+	if len(cs) != 2 || cs[0] != "a" || cs[1] != "b" || len(hs) != 1 || hs[0] != "h" {
+		t.Fatalf("Names = %v, %v", cs, hs)
+	}
+}

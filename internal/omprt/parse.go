@@ -1,0 +1,78 @@
+package omprt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSched parses an OpenMP schedule spelling. It accepts the exact
+// String() forms — "(static)", "(static,4)", "(dynamic,1)", "(guided)" —
+// and the bare CLI spellings without parentheses: "static", "static,4",
+// "static1" (shorthand for "(static,1)"), "dynamic" / "dynamic1" /
+// "dynamic,4", and "guided". ParseSched(s.String()) round-trips for every
+// valid Sched.
+func ParseSched(s string) (Sched, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = s[1 : len(s)-1]
+	}
+	kind := s
+	chunkStr := ""
+	if i := strings.IndexByte(s, ','); i >= 0 {
+		kind, chunkStr = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	chunk := 0
+	if chunkStr != "" {
+		v, err := strconv.Atoi(chunkStr)
+		if err != nil || v < 1 {
+			return Sched{}, fmt.Errorf("omprt: bad schedule chunk %q in %q", chunkStr, orig)
+		}
+		chunk = v
+	}
+	switch strings.TrimSpace(kind) {
+	case "static":
+		if chunk > 0 {
+			return Sched{Kind: StaticChunk, Chunk: chunk}, nil
+		}
+		return SchedStatic, nil
+	case "static1":
+		if chunk > 0 {
+			break
+		}
+		return SchedStatic1, nil
+	case "dynamic":
+		if chunk == 0 {
+			chunk = 1
+		}
+		return Sched{Kind: Dynamic, Chunk: chunk}, nil
+	case "dynamic1":
+		if chunk > 0 {
+			break
+		}
+		return SchedDynamic1, nil
+	case "guided":
+		if chunk > 0 {
+			break
+		}
+		return SchedGuided, nil
+	}
+	return Sched{}, fmt.Errorf("omprt: unknown schedule %q (want static | static,N | static1 | dynamic,N | dynamic1 | guided)", orig)
+}
+
+// MarshalText encodes the schedule as its String() spelling, so Sched
+// fields marshal to stable JSON strings like "(dynamic,1)".
+func (s Sched) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses any spelling ParseSched accepts.
+func (s *Sched) UnmarshalText(text []byte) error {
+	parsed, err := ParseSched(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"prophet/internal/cilkrt"
 	"prophet/internal/clock"
+	"prophet/internal/obs"
 	"prophet/internal/omprt"
 	"prophet/internal/pipesim"
 	"prophet/internal/sim"
@@ -40,6 +41,11 @@ type Config struct {
 	// select the calibrated defaults.
 	OmpOv  *omprt.Overheads
 	CilkOv *cilkrt.Overheads
+	// Tracer, when set, receives the machine run's execution events
+	// (internal/obs); nil disables tracing.
+	Tracer obs.ExecTracer
+	// Metrics, when set, aggregates the run's DES counters.
+	Metrics *obs.Registry
 }
 
 func (c Config) threads() int {
@@ -94,6 +100,8 @@ func TimeCtx(ctx context.Context, root *tree.Node, cfg Config) (clock.Cycles, er
 
 // TimeTraced is Time with an optional slice recorder attached, for
 // rendering the execution as a per-core timeline (sim.Recorder.Gantt).
+// It panics on simulation errors (legacy contract); error-tolerant
+// callers use TimeTracedCtx.
 func TimeTraced(root *tree.Node, cfg Config, rec *sim.Recorder) clock.Cycles {
 	end, err := timeOpt(context.Background(), root, cfg, rec)
 	if err != nil {
@@ -102,8 +110,16 @@ func TimeTraced(root *tree.Node, cfg Config, rec *sim.Recorder) clock.Cycles {
 	return end
 }
 
+// TimeTracedCtx is TimeTraced with cancellation and typed simulation
+// errors: a deadlocked or over-budget ground-truth run returns the error
+// (with whatever the recorder captured up to the failure) instead of
+// panicking.
+func TimeTracedCtx(ctx context.Context, root *tree.Node, cfg Config, rec *sim.Recorder) (clock.Cycles, error) {
+	return timeOpt(ctx, root, cfg, rec)
+}
+
 func timeOpt(ctx context.Context, root *tree.Node, cfg Config, rec *sim.Recorder) (clock.Cycles, error) {
-	end, _, err := sim.RunOpt(cfg.Machine, sim.RunOpts{Ctx: ctx, Recorder: rec}, func(main *sim.Thread) {
+	end, _, err := sim.RunOpt(cfg.Machine, sim.RunOpts{Ctx: ctx, Recorder: rec, Tracer: cfg.Tracer, Metrics: cfg.Metrics}, func(main *sim.Thread) {
 		for _, c := range root.Children {
 			switch c.Kind {
 			case tree.U:

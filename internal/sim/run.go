@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"prophet/internal/clock"
+	"prophet/internal/obs"
 )
 
 // errAbortRun is the private panic value used to unwind thread goroutines
@@ -32,7 +33,22 @@ type RunOpts struct {
 	// wrapping ctx.Err(). Nil means context.Background().
 	Ctx context.Context
 	// Recorder captures executed work slices for timeline rendering.
+	//
+	// Deprecated: Recorder only sees work slices and cannot report
+	// errors to render-time consumers. New code should attach a Tracer
+	// (e.g. an *obs.TraceBuffer), which receives the full event stream —
+	// schedule, preempt, block/unblock, lock and slice events — and
+	// exports Chrome trace JSON. Recorder remains supported for the
+	// text-Gantt path.
 	Recorder *Recorder
+	// Tracer receives execution events (schedule/preempt/block/unblock/
+	// lock/slice) with virtual timestamps; nil disables tracing at the
+	// cost of one branch per site (see internal/obs).
+	Tracer obs.ExecTracer
+	// Metrics, when set, aggregates run-level counters (sim.runs,
+	// sim.events, sim.preemptions, watchdog headroom) into the registry
+	// when the run ends.
+	Metrics *obs.Registry
 	// Faults installs deterministic perturbation hooks.
 	Faults *FaultHooks
 }
@@ -49,6 +65,8 @@ func RunOpt(cfg Config, o RunOpts, main func(*Thread)) (clock.Cycles, Stats, err
 		m.ctx = o.Ctx
 	}
 	m.recorder = o.Recorder
+	m.tracer = o.Tracer
+	m.metrics = o.Metrics
 	if o.Faults != nil {
 		m.faults = o.Faults
 		if o.Faults.DRAMBandwidth != nil {

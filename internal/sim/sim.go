@@ -31,6 +31,7 @@ import (
 
 	"prophet/internal/clock"
 	"prophet/internal/mem"
+	"prophet/internal/obs"
 )
 
 // Config describes the simulated machine.
@@ -245,6 +246,13 @@ type Machine struct {
 	faults *FaultHooks
 	// recorder, when set, captures executed work slices (see trace.go).
 	recorder *Recorder
+	// tracer, when set, receives schedule/preempt/block/unblock/lock and
+	// work-slice events with virtual timestamps (internal/obs). Nil (the
+	// default) costs one predictable branch per emission site.
+	tracer obs.ExecTracer
+	// metrics, when set, aggregates run-level counters (event count,
+	// preemptions, watchdog headroom) at the end of the run.
+	metrics *obs.Registry
 }
 
 // New creates a machine. Most callers use Run instead.
@@ -291,6 +299,14 @@ func (m *Machine) run() (clock.Cycles, Stats, error) {
 	m.loop()
 	close(m.abort)
 	m.wg.Wait()
+	if m.metrics != nil {
+		m.metrics.Counter(obs.MSimRuns).Inc()
+		m.metrics.Counter(obs.MSimEvents).Add(m.stats.Events)
+		m.metrics.Counter(obs.MSimPreemptions).Add(m.stats.Preemptions)
+		if m.cfg.MaxEvents > 0 {
+			m.metrics.Histogram(obs.MSimHeadroom).Observe(m.cfg.MaxEvents - m.stats.Events)
+		}
+	}
 	return m.end, m.stats, m.err
 }
 
@@ -338,6 +354,9 @@ func (m *Machine) newThread(f func(*Thread)) *Thread {
 }
 
 func (m *Machine) makeReady(t *Thread) {
+	if m.tracer != nil && t.state == stateBlocked {
+		m.tracer.Exec(obs.ExecEvent{Kind: obs.KUnblock, Time: m.now, Core: -1, Thread: t.id, Lock: -1})
+	}
 	t.state = stateReady
 	t.inPark = false
 	t.core = -1
@@ -453,6 +472,9 @@ func (m *Machine) quantumFor(i int) clock.Cycles {
 }
 
 func (m *Machine) startOn(i int, t *Thread) {
+	if m.tracer != nil {
+		m.tracer.Exec(obs.ExecEvent{Kind: obs.KSchedule, Time: m.now, Core: i, Thread: t.id, Lock: -1})
+	}
 	c := &m.cores[i]
 	c.running = t
 	c.quantumLeft = m.quantumFor(i)
@@ -525,6 +547,9 @@ func (m *Machine) sliceEnd(i int) {
 	if m.recorder != nil {
 		m.recorder.record(i, t.id, m.now-work, m.now)
 	}
+	if m.tracer != nil && work > 0 {
+		m.tracer.Exec(obs.ExecEvent{Kind: obs.KSlice, Time: m.now - work, End: m.now, Core: i, Thread: t.id, Lock: -1})
+	}
 	c.quantumLeft -= work
 	if t.sliceDur > 0 && work > 0 {
 		frac := float64(work) / float64(t.sliceDur)
@@ -550,6 +575,9 @@ func (m *Machine) sliceEnd(i int) {
 		if len(m.ready) > 0 {
 			// Preempt: back of the ready queue.
 			m.stats.Preemptions++
+			if m.tracer != nil {
+				m.tracer.Exec(obs.ExecEvent{Kind: obs.KPreempt, Time: m.now, Core: i, Thread: t.id, Lock: -1})
+			}
 			c.running = nil
 			m.makeReady(t)
 			return
@@ -590,7 +618,13 @@ func (m *Machine) handle(req request) bool {
 		l := m.lock(req.lock)
 		if l.owner == nil {
 			l.owner = t
+			if m.tracer != nil {
+				m.tracer.Exec(obs.ExecEvent{Kind: obs.KLockAcquire, Time: m.now, Core: t.core, Thread: t.id, Lock: req.lock})
+			}
 			return false
+		}
+		if m.tracer != nil {
+			m.tracer.Exec(obs.ExecEvent{Kind: obs.KLockBlocked, Time: m.now, Core: t.core, Thread: t.id, Lock: req.lock})
 		}
 		l.waiters = append(l.waiters, t)
 		m.block(t)
@@ -605,10 +639,18 @@ func (m *Machine) handle(req request) bool {
 			m.fail(&LockMisuseError{Time: m.now, Thread: t.id, Lock: req.lock, Owner: ownerID(l.owner)})
 			return true
 		}
+		if m.tracer != nil {
+			m.tracer.Exec(obs.ExecEvent{Kind: obs.KLockRelease, Time: m.now, Core: t.core, Thread: t.id, Lock: req.lock})
+		}
 		if len(l.waiters) > 0 {
 			next := l.waiters[0]
 			l.waiters = l.waiters[1:]
 			l.owner = next
+			if m.tracer != nil {
+				// Direct handoff: the waiter owns the lock from now on,
+				// though it resumes on a core later.
+				m.tracer.Exec(obs.ExecEvent{Kind: obs.KLockAcquire, Time: m.now, Core: -1, Thread: next.id, Lock: req.lock})
+			}
 			m.makeReady(next)
 		} else {
 			l.owner = nil
@@ -617,6 +659,9 @@ func (m *Machine) handle(req request) bool {
 
 	case opSpawn:
 		nt := m.newThread(req.fn)
+		if m.tracer != nil {
+			m.tracer.Exec(obs.ExecEvent{Kind: obs.KSpawn, Time: m.now, Core: t.core, Thread: nt.id, Lock: -1})
+		}
 		m.makeReady(nt)
 		t.spawned = nt
 		return false
@@ -669,6 +714,9 @@ func (m *Machine) handle(req request) bool {
 		return true
 
 	case opExit:
+		if m.tracer != nil {
+			m.tracer.Exec(obs.ExecEvent{Kind: obs.KExit, Time: m.now, Core: t.core, Thread: t.id, Lock: -1})
+		}
 		t.state = stateExited
 		m.live--
 		if m.now > m.end {
@@ -696,6 +744,9 @@ func (m *Machine) handle(req request) bool {
 
 // block removes t from its core and marks it blocked.
 func (m *Machine) block(t *Thread) {
+	if m.tracer != nil {
+		m.tracer.Exec(obs.ExecEvent{Kind: obs.KBlock, Time: m.now, Core: t.core, Thread: t.id, Lock: -1})
+	}
 	m.cores[t.core].running = nil
 	t.state = stateBlocked
 	t.core = -1

@@ -11,6 +11,12 @@ import (
 // Recorder captures per-core execution intervals of a machine run, for
 // debugging schedules and rendering timelines (the view Fig. 5's boxes and
 // Fig. 7's CPU lanes draw by hand).
+//
+// Deprecated: Recorder is the write-only legacy capture path — it sees
+// work slices but not scheduling or lock events, and offers no machine-
+// readable export. New code should attach an obs.ExecTracer (e.g.
+// *obs.TraceBuffer, exportable as Chrome trace JSON) via RunOpts.Tracer.
+// Recorder remains supported as the backend of the text Gantt rendering.
 type Recorder struct {
 	// Intervals are work slices in completion order.
 	Intervals []Interval

@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"prophet/internal/obs"
 )
 
 // Cache memoizes expensive deterministic computations by key with
@@ -27,6 +29,29 @@ type Cache[K comparable, V any] struct {
 	m      map[K]*cacheEntry[V]
 	hits   atomic.Int64
 	misses atomic.Int64
+	dedups atomic.Int64
+	ctrs   CacheCounters
+}
+
+// CacheCounters are optional external metric handles for a cache; nil
+// members are no-ops, so a zero value disables instrumentation.
+type CacheCounters struct {
+	// Hits counts Gets that found the key present (completed or still
+	// in flight).
+	Hits *obs.Counter
+	// Misses counts Gets that ran the compute function.
+	Misses *obs.Counter
+	// Dedups counts singleflight deduplications: Gets that found the
+	// key's compute still in flight and waited for it instead of
+	// recomputing.
+	Dedups *obs.Counter
+}
+
+// Instrument attaches metric counters (typically from an obs.Registry)
+// that mirror the cache's internal hit/miss/dedup statistics from this
+// point on. Safe only before the cache is shared across goroutines.
+func (c *Cache[K, V]) Instrument(ctrs CacheCounters) {
+	c.ctrs = ctrs
 }
 
 type cacheEntry[V any] struct {
@@ -52,10 +77,20 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		c.ctrs.Hits.Inc()
+		select {
+		case <-e.ready:
+			// Completed flight: a plain hit.
+		default:
+			// Still computing: this Get deduplicates onto the flight.
+			c.dedups.Add(1)
+			c.ctrs.Dedups.Inc()
+		}
 		<-e.ready
 		return e.v, e.err
 	}
 	c.misses.Add(1)
+	c.ctrs.Misses.Inc()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -96,4 +131,11 @@ func (c *Cache[K, V]) Len() int {
 // key already present, even if the compute was still in flight).
 func (c *Cache[K, V]) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Dedups returns the number of singleflight deduplications: hits that
+// arrived while the key's compute was still in flight and shared its
+// result.
+func (c *Cache[K, V]) Dedups() int64 {
+	return c.dedups.Load()
 }

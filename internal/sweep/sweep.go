@@ -15,11 +15,15 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"prophet/internal/obs"
 )
 
 // Engine bounds the worker pool used by Run.
@@ -32,6 +36,9 @@ type Engine struct {
 	// error (RunCtx only): in-flight cells drain, cells not yet claimed
 	// are marked Skipped.
 	FailFast bool
+	// Metrics, when set, counts per-cell outcomes (obs.MSweepCellsOK /
+	// Failed / Skipped) across every sweep run on this engine.
+	Metrics *obs.Registry
 }
 
 // WorkerCount resolves the effective pool size.
@@ -57,19 +64,53 @@ func (p *PanicError) Error() string {
 	return fmt.Sprintf("sweep: cell %d panicked: %v", p.Cell, p.Value)
 }
 
-// Outcome is the result of one cell.
+// Outcome is the result of one cell. It marshals to JSON with stable
+// field names (index/value/err/skipped), Err as its string message, so
+// sweep results share one vocabulary with traces and metrics snapshots.
 type Outcome[T any] struct {
 	// Index is the cell index (Outcome i of Run is always cell i; the
 	// field exists so outcomes can be filtered and still traced back).
-	Index int
+	Index int `json:"index"`
 	// Value is the cell's result (zero if Err != nil).
-	Value T
+	Value T `json:"value"`
 	// Err is the cell's error; a recovered panic surfaces as *PanicError.
-	Err error
+	Err error `json:"-"`
 	// Skipped marks a cell that never ran: the sweep's context was
 	// canceled (or a FailFast sweep had already failed) before the cell
 	// was claimed. Err wraps the cancellation cause.
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// outcomeJSON is the stable wire form of Outcome.
+type outcomeJSON[T any] struct {
+	Index   int    `json:"index"`
+	Value   T      `json:"value"`
+	Err     string `json:"err,omitempty"`
+	Skipped bool   `json:"skipped,omitempty"`
+}
+
+// MarshalJSON writes the outcome with Err flattened to its message.
+func (o Outcome[T]) MarshalJSON() ([]byte, error) {
+	w := outcomeJSON[T]{Index: o.Index, Value: o.Value, Skipped: o.Skipped}
+	if o.Err != nil {
+		w.Err = o.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores an outcome; a non-empty err string becomes an
+// opaque error carrying the same message (the concrete type is not
+// preserved across the wire).
+func (o *Outcome[T]) UnmarshalJSON(data []byte) error {
+	var w outcomeJSON[T]
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	o.Index, o.Value, o.Skipped, o.Err = w.Index, w.Value, w.Skipped, nil
+	if w.Err != "" {
+		o.Err = errors.New(w.Err)
+	}
+	return nil
 }
 
 // Run evaluates cells 0..n-1 with fn on e's worker pool and returns one
@@ -104,8 +145,13 @@ func RunCtx[T any](ctx context.Context, e Engine, n int, fn func(ctx context.Con
 		cellCtx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
+	// Outcome counters: nil (no-op) handles when e.Metrics is unset.
+	cellsOK := e.Metrics.Counter(obs.MSweepCellsOK)
+	cellsFailed := e.Metrics.Counter(obs.MSweepCellsFailed)
+	cellsSkipped := e.Metrics.Counter(obs.MSweepCellsSkipped)
 	step := func(i int) {
 		if err := cellCtx.Err(); err != nil {
+			cellsSkipped.Inc()
 			out[i] = Outcome[T]{
 				Index:   i,
 				Err:     fmt.Errorf("sweep: cell %d skipped: %w", i, err),
@@ -115,7 +161,10 @@ func RunCtx[T any](ctx context.Context, e Engine, n int, fn func(ctx context.Con
 		}
 		out[i] = runCell(cellCtx, i, fn)
 		if out[i].Err != nil {
+			cellsFailed.Inc()
 			cancel() // no-op unless FailFast
+		} else {
+			cellsOK.Inc()
 		}
 	}
 	workers := e.WorkerCount()

@@ -1,0 +1,31 @@
+package synth
+
+import "fmt"
+
+// ParseParadigm parses a paradigm name: "openmp" (or "omp") and "cilk",
+// matching String() exactly, so ParseParadigm(p.String()) round-trips.
+func ParseParadigm(s string) (Paradigm, error) {
+	switch s {
+	case "openmp", "omp":
+		return OpenMP, nil
+	case "cilk":
+		return Cilk, nil
+	}
+	return 0, fmt.Errorf("synth: unknown paradigm %q (want openmp | cilk)", s)
+}
+
+// MarshalText encodes the paradigm as its String() name, so Paradigm
+// fields marshal to stable JSON strings.
+func (p Paradigm) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses any spelling ParseParadigm accepts.
+func (p *Paradigm) UnmarshalText(text []byte) error {
+	parsed, err := ParseParadigm(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}

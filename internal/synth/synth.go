@@ -24,6 +24,7 @@ import (
 
 	"prophet/internal/cilkrt"
 	"prophet/internal/clock"
+	"prophet/internal/obs"
 	"prophet/internal/omprt"
 	"prophet/internal/pipesim"
 	"prophet/internal/sim"
@@ -75,6 +76,12 @@ type Synthesizer struct {
 	// RecursiveCall is OVERHEAD_RECURSIVE_CALL, charged per nested
 	// section entry.
 	RecursiveCall clock.Cycles
+	// Tracer, when set, is attached to the simulated machine runs: the
+	// synthesized program's schedule/lock/slice events stream out with
+	// virtual timestamps (internal/obs). Nil disables tracing.
+	Tracer obs.ExecTracer
+	// Metrics, when set, aggregates the machine runs' DES counters.
+	Metrics *obs.Registry
 }
 
 // Default traversal-overhead constants (the paper measured ~50 cycles for
@@ -187,7 +194,7 @@ func (s *Synthesizer) emulateTopLevelParSec(ctx context.Context, sec *tree.Node)
 		burden = sec.BurdenFor(s.threads())
 	}
 	om := newOverheadMgr()
-	gross, _, err := sim.RunCtx(ctx, s.Machine, func(main *sim.Thread) {
+	gross, _, err := sim.RunOpt(s.Machine, sim.RunOpts{Ctx: ctx, Tracer: s.Tracer, Metrics: s.Metrics}, func(main *sim.Thread) {
 		if sec.Pipeline {
 			pipesim.Run(main, sec, s.threads(), func(w *sim.Thread, seg *tree.Node) {
 				om.charge(w, s.accessNode())

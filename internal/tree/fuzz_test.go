@@ -49,8 +49,8 @@ func buildArbitraryNode(data []byte, budget *int) *Node {
 // mirroring the FuzzTracerAnnotations contract one layer down.
 func FuzzTreeValidate(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 2, 1, 0, 0, 1, 3})                   // Root-ish with children
-	f.Add([]byte{3, 200, 4, 1, 9, 9, 9})                 // leaf with children
+	f.Add([]byte{0, 2, 1, 0, 0, 1, 3})                  // Root-ish with children
+	f.Add([]byte{3, 200, 4, 1, 9, 9, 9})                // leaf with children
 	f.Add([]byte{8, 0, 0, 0, 255, 7, 6, 5, 4, 3, 2, 1}) // out-of-range kind
 	f.Fuzz(func(t *testing.T, data []byte) {
 		budget := 256

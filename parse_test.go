@@ -1,0 +1,109 @@
+package prophet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Every Method, Paradigm and Sched must round-trip through its parser:
+// ParseX(x.String()) == x. The JSON encodings ride on the same spellings
+// (TextMarshaler), so these tests also pin the wire vocabulary.
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range []Method{FastForward, Synthesizer, Suitability, AmdahlLaw, CriticalPathBound} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v, want %v", m.String(), got, err, m)
+		}
+	}
+}
+
+func TestParseParadigmRoundTrip(t *testing.T) {
+	for _, p := range []Paradigm{OpenMP, Cilk} {
+		got, err := ParseParadigm(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseParadigm(%q) = %v, %v, want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParseParadigm("tbb"); err == nil {
+		t.Error("unknown paradigm accepted")
+	}
+}
+
+func TestParseSchedRoundTrip(t *testing.T) {
+	scheds := []Sched{
+		Static, Static1, Dynamic1, Guided,
+		{Kind: Static1.Kind, Chunk: 7},  // (static,7)
+		{Kind: Dynamic1.Kind, Chunk: 4}, // (dynamic,4)
+	}
+	for _, s := range scheds {
+		got, err := ParseSched(s.String())
+		if err != nil {
+			t.Errorf("ParseSched(%q): %v", s.String(), err)
+			continue
+		}
+		if got.String() != s.String() {
+			t.Errorf("ParseSched(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+}
+
+func TestRequestJSONStableNames(t *testing.T) {
+	req := Request{Method: Synthesizer, Threads: 8, Paradigm: Cilk, Sched: Dynamic1, MemoryModel: true}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"method":"synthesizer","threads":8,"paradigm":"cilk","sched":"(dynamic,1)","memory_model":true}`
+	if string(data) != want {
+		t.Fatalf("Request JSON = %s\nwant          %s", data, want)
+	}
+	var back Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != req {
+		t.Fatalf("round-trip = %+v, want %+v", back, req)
+	}
+}
+
+func TestEstimateJSONErrAsString(t *testing.T) {
+	est := Estimate{
+		Request: Request{Method: FastForward, Threads: 4},
+		Err:     ErrDeadlock,
+	}
+	data, err := json.Marshal(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire["err"] != ErrDeadlock.Error() {
+		t.Fatalf("err field = %v, want %q", wire["err"], ErrDeadlock.Error())
+	}
+	var back Estimate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err == nil || back.Err.Error() != ErrDeadlock.Error() {
+		t.Fatalf("round-trip err = %v", back.Err)
+	}
+	if back.Method != FastForward || back.Threads != 4 {
+		t.Fatalf("round-trip request = %+v", back.Request)
+	}
+
+	ok := Estimate{Request: Request{Threads: 2}, Speedup: 1.5, Time: 100}
+	data, err = json.Marshal(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var okWire map[string]any
+	if err := json.Unmarshal(data, &okWire); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := okWire["err"]; present {
+		t.Fatalf("nil Err serialized: %s", data)
+	}
+}

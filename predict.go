@@ -2,6 +2,8 @@ package prophet
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -9,6 +11,7 @@ import (
 	"prophet/internal/clock"
 	"prophet/internal/ff"
 	"prophet/internal/hostexec"
+	"prophet/internal/obs"
 	"prophet/internal/omprt"
 	"prophet/internal/realrun"
 	"prophet/internal/sim"
@@ -55,34 +58,73 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", uint8(m))
 }
 
-// Request describes one prediction to make.
+// Request describes one prediction to make. It marshals to JSON with
+// stable field names; Method, Paradigm and Sched encode as their String()
+// spellings and decode through the Parse* functions, so a request
+// round-trips as e.g.
+//
+//	{"method":"ff","threads":8,"paradigm":"openmp","sched":"(dynamic,1)","memory_model":true}
 type Request struct {
 	// Method selects the engine (default FastForward).
-	Method Method
+	Method Method `json:"method"`
 	// Threads is the CPU count to predict for (default: the machine's
 	// core count).
-	Threads int
+	Threads int `json:"threads"`
 	// Paradigm is OpenMP or Cilk (default OpenMP).
-	Paradigm Paradigm
+	Paradigm Paradigm `json:"paradigm"`
 	// Sched is the OpenMP schedule (default (static)).
-	Sched Sched
+	Sched Sched `json:"sched"`
 	// MemoryModel applies burden factors when true (the paper's PredM
 	// series; Pred when false).
-	MemoryModel bool
+	MemoryModel bool `json:"memory_model"`
 }
 
-// Estimate is a prediction result.
+// Estimate is a prediction result. It marshals to JSON with stable field
+// names — the request's fields inline, "speedup", "time_cycles" and
+// "err" (the error flattened to its message, omitted when nil).
 type Estimate struct {
 	Request
 	// Speedup is serial time / predicted parallel time.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// Time is the predicted parallel execution time in cycles.
-	Time clock.Cycles
+	Time clock.Cycles `json:"time_cycles"`
 	// Err is the typed error of a failed prediction (nil on success);
 	// Speedup and Time are zero when set. The error also comes back as
 	// the second return of EstimateCtx — the field exists so batched
 	// results (Curve) carry their per-point failures.
-	Err error
+	Err error `json:"-"`
+}
+
+// estimateJSON is the stable wire form of Estimate.
+type estimateJSON struct {
+	Request
+	Speedup float64      `json:"speedup"`
+	Time    clock.Cycles `json:"time_cycles"`
+	Err     string       `json:"err,omitempty"`
+}
+
+// MarshalJSON writes the estimate with Err flattened to its message.
+func (e Estimate) MarshalJSON() ([]byte, error) {
+	w := estimateJSON{Request: e.Request, Speedup: e.Speedup, Time: e.Time}
+	if e.Err != nil {
+		w.Err = e.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores an estimate; a non-empty err string becomes an
+// opaque error carrying the same message (the concrete error type is not
+// preserved across the wire).
+func (e *Estimate) UnmarshalJSON(data []byte) error {
+	var w estimateJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	e.Request, e.Speedup, e.Time, e.Err = w.Request, w.Speedup, w.Time, nil
+	if w.Err != "" {
+		e.Err = errors.New(w.Err)
+	}
+	return nil
 }
 
 func (p *Profile) threadsOf(req Request) int {
@@ -117,6 +159,8 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 	if err := ctx.Err(); err != nil {
 		return Estimate{Request: req, Err: err}, err
 	}
+	tm := p.opts.Observer.Metrics.StartTimer(obs.MStageEmulate)
+	defer tm.Stop()
 	useMem := req.MemoryModel && p.Model != nil
 	var speedup float64
 	switch req.Method {
@@ -128,6 +172,8 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 			UseBurden: useMem,
 			Machine:   p.opts.Machine,
 			OmpOv:     omprt.DefaultOverheads(),
+			Tracer:    p.opts.Observer.Trace,
+			Metrics:   p.opts.Observer.Metrics,
 		}
 		speedup, err = s.SpeedupCtx(ctx, p.Tree)
 	case Suitability:
@@ -143,6 +189,7 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 			Sched:     req.Sched,
 			Ov:        omprt.DefaultOverheads(),
 			UseBurden: useMem,
+			Tracer:    p.opts.Observer.Trace,
 		}
 		speedup, err = e.SpeedupCtx(ctx, p.Tree)
 	}
@@ -268,6 +315,8 @@ func (p *Profile) RealSpeedupCtx(ctx context.Context, req Request) (s float64, e
 		Threads:  t,
 		Paradigm: req.Paradigm,
 		Sched:    req.Sched,
+		Tracer:   p.opts.Observer.Trace,
+		Metrics:  p.opts.Observer.Metrics,
 	})
 }
 
@@ -275,15 +324,35 @@ func (p *Profile) RealSpeedupCtx(ctx context.Context, req Request) (s float64, e
 // a slice recorder attached and returns a per-core text timeline (width
 // columns wide) plus each core's busy fraction — the per-CPU lanes Fig. 5
 // and Fig. 7 draw by hand.
+//
+// Timeline is the legacy convenience wrapper around TimelineCtx: it
+// swallows the error, returning whatever partial timeline the recorder
+// captured (possibly empty) when the ground-truth run fails. Callers that
+// need to distinguish a genuinely idle machine from a deadlocked or
+// over-budget run should use TimelineCtx.
 func (p *Profile) Timeline(req Request, width int) (gantt string, utilization map[int]float64) {
+	gantt, utilization, _ = p.TimelineCtx(context.Background(), req, width)
+	return gantt, utilization
+}
+
+// TimelineCtx is Timeline with cancellation and typed errors: a
+// ground-truth run that deadlocks (ErrDeadlock), exceeds the watchdog
+// budget (ErrBudgetExceeded) or is canceled returns the error alongside
+// the timeline of whatever executed up to the failure.
+func (p *Profile) TimelineCtx(ctx context.Context, req Request, width int) (gantt string, utilization map[int]float64, err error) {
+	defer recoverToError(&err)
 	rec := &sim.Recorder{}
-	realrun.TimeTraced(p.Tree, realrun.Config{
+	_, runErr := realrun.TimeTracedCtx(ctx, p.Tree, realrun.Config{
 		Machine:  p.opts.Machine,
 		Threads:  p.threadsOf(req),
 		Paradigm: req.Paradigm,
 		Sched:    req.Sched,
+		Tracer:   p.opts.Observer.Trace,
+		Metrics:  p.opts.Observer.Metrics,
 	}, rec)
 	var b strings.Builder
-	_ = rec.Gantt(&b, width)
-	return b.String(), rec.Utilization()
+	if werr := rec.Gantt(&b, width); werr != nil && runErr == nil {
+		runErr = werr
+	}
+	return b.String(), rec.Utilization(), runErr
 }

@@ -33,6 +33,7 @@ import (
 	"prophet/internal/compress"
 	"prophet/internal/counters"
 	"prophet/internal/memmodel"
+	"prophet/internal/obs"
 	"prophet/internal/sim"
 	"prophet/internal/sweep"
 	"prophet/internal/trace"
@@ -64,6 +65,11 @@ type Options struct {
 	// dynamic executions. The default assigns per-execution factors,
 	// which is strictly finer-grained.
 	AverageBurdensByName bool
+	// Observer attaches observability sinks: an execution tracer fed by
+	// every simulated machine run and emulation made through the profile,
+	// and a metrics registry aggregating stage wall times and DES
+	// counters. The zero value disables observability at no cost.
+	Observer Observer
 }
 
 // DefaultThreadCounts is the paper's evaluation grid.
@@ -152,7 +158,9 @@ func ProfileProgramCtx(ctx context.Context, prog Program, opts *Options) (p *Pro
 		return nil, err
 	}
 	o := opts.withDefaults()
+	tm := o.Observer.Metrics.StartTimer(obs.MStageProfile)
 	root, prof, err := trace.Profile(prog, o.Machine.DRAM)
+	tm.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -163,15 +171,19 @@ func ProfileProgramCtx(ctx context.Context, prog Program, opts *Options) (p *Pro
 		opts:         o,
 	}
 	if o.CompressTolerance >= 0 {
+		tm := o.Observer.Metrics.StartTimer(obs.MStageCompress)
 		p.Compression = compress.Compress(root, compress.Options{
 			Tolerance: o.CompressTolerance,
 			MaxNodes:  o.MaxTreeNodes,
 		})
+		tm.Stop()
 	}
 	if !o.DisableMemoryModel {
 		m := o.MemModel
 		if m == nil {
+			tm := o.Observer.Metrics.StartTimer(obs.MStageCalibrate)
 			m, err = modelFor(ctx, o.Machine, o.ThreadCounts)
+			tm.Stop()
 			if err != nil {
 				return nil, err
 			}
@@ -224,7 +236,9 @@ func ProfileTreeCtx(ctx context.Context, root *tree.Node, opts *Options) (p *Pro
 	if !o.DisableMemoryModel {
 		m := o.MemModel
 		if m == nil {
+			tm := o.Observer.Metrics.StartTimer(obs.MStageCalibrate)
 			m, err = modelFor(ctx, o.Machine, o.ThreadCounts)
+			tm.Stop()
 			if err != nil {
 				return nil, err
 			}
