@@ -200,12 +200,14 @@ func BenchmarkFFEmulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	e := &ff.Emulator{Threads: 8, Sched: omprt.SchedStatic, Ov: omprt.DefaultOverheads()}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if e.Speedup(prof.Tree) <= 0 {
 			b.Fatal("bad speedup")
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "estimates/sec")
 }
 
 // BenchmarkSynthesizer measures one synthesizer estimate on the same tree
@@ -229,6 +231,7 @@ func BenchmarkSynthesizer(b *testing.B) {
 // thread design: raw event throughput of the discrete-event machine.
 func BenchmarkSimEngine(b *testing.B) {
 	b.ReportAllocs()
+	var events int64
 	for i := 0; i < b.N; i++ {
 		_, st := sim.Run(benchMachine(), func(t *sim.Thread) {
 			ws := make([]*sim.Thread, 0, 24)
@@ -243,8 +246,10 @@ func BenchmarkSimEngine(b *testing.B) {
 				t.Join(w)
 			}
 		})
-		b.ReportMetric(float64(st.Events), "events")
+		events += st.Events
 	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkDRAMContention is the ablation for the fluid bandwidth-sharing

@@ -37,6 +37,7 @@ import (
 
 	"prophet"
 	"prophet/internal/experiments"
+	"prophet/internal/pprofutil"
 	"prophet/internal/report"
 )
 
@@ -54,8 +55,17 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "stop starting new sweep cells after this duration and exit 3 (0 = no limit)")
 		failFast   = flag.Bool("failfast", false, "cancel the remainder of a sweep when any cell fails")
 		metricsOut = flag.String("metrics", "", "write a metrics snapshot as JSON to this file (\"-\" = stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap (allocs) profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -178,6 +188,7 @@ func main() {
 
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "ppexp: %v — results above are partial\n", err)
+		stopProfiles() // os.Exit skips the defer; a timed-out run is exactly one worth profiling
 		os.Exit(3)
 	}
 }

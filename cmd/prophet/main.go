@@ -32,6 +32,7 @@ import (
 	"strconv"
 
 	"prophet"
+	"prophet/internal/pprofutil"
 	"prophet/internal/report"
 	"prophet/internal/workloads"
 )
@@ -43,10 +44,16 @@ const (
 	exitDeadline = 3 // -timeout expired
 )
 
+// stopProfiles flushes -cpuprofile/-memprofile output; fail() calls it
+// because os.Exit skips main's defer, and a failing run (a deadlocked
+// emulation, an expired deadline) is often the one worth profiling.
+var stopProfiles = func() {}
+
 // fail prints err for its stage and exits with the matching code. A
 // deadline expiry exits 3; a deadlock additionally prints the wait-graph
 // diagnostic so the user can see which virtual threads hold which locks.
 func fail(stage string, err error) {
+	stopProfiles()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", stage, err)
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		os.Exit(exitDeadline)
@@ -76,8 +83,18 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort profiling and prediction after this duration, exiting 3 (0 = no limit)")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON of the simulated machine runs to this file")
 		metricsOut = flag.String("metrics", "", "write a pipeline metrics snapshot as JSON to this file (\"-\" = stdout)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap (allocs) profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := pprofutil.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitUsage)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	var (
 		traceBuf *prophet.TraceBuffer

@@ -46,6 +46,10 @@ type Options struct {
 	// DisableDictionary turns off subtree sharing (used by the ablation
 	// benchmarks to separate RLE and dictionary gains).
 	DisableDictionary bool
+	// Arena, when set, supplies the nodes RLE clones for merged-run
+	// representatives, keeping an arena-backed tree fully inside its
+	// arena. Nil (the default) clones on the heap.
+	Arena *tree.Arena
 }
 
 // Stats reports the effect of one Compress call.
@@ -95,7 +99,7 @@ func Compress(root *tree.Node, opts Options) Stats {
 		// fixpoint (bounded — each pass strictly reduces node count).
 		for i := 0; i < 8; i++ {
 			before := uniqueNodes(root)
-			rle(root, tol)
+			rle(root, tol, opts.Arena)
 			if !opts.DisableDictionary {
 				dedupe(root, tol)
 			}
@@ -127,10 +131,11 @@ func Compress(root *tree.Node, opts Options) Stats {
 }
 
 // rle merges runs of equivalent consecutive siblings, recursively,
-// bottom-up.
-func rle(n *tree.Node, tol float64) {
+// bottom-up. Merged-run representatives are cloned from arena when one is
+// supplied (nil falls back to the heap).
+func rle(n *tree.Node, tol float64, arena *tree.Arena) {
 	for _, c := range n.Children {
-		rle(c, tol)
+		rle(c, tol, arena)
 	}
 	if tol < 0 || len(n.Children) < 2 {
 		return
@@ -144,7 +149,7 @@ func rle(n *tree.Node, tol float64) {
 			j++
 		}
 		if j > i+1 {
-			merged := run.Clone()
+			merged := arena.Clone(run)
 			weight := merged.Reps()
 			for k := i + 1; k < j; k++ {
 				mergeInto(merged, n.Children[k], weight, n.Children[k].Reps())

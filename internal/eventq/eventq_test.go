@@ -1,0 +1,216 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// item mirrors the (time, seq) ordering both engine heaps use: time is the
+// priority, seq the tie-break that makes pop order deterministic.
+type item struct {
+	time int64
+	seq  uint64
+}
+
+func (a item) Less(b item) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func sortedCopy(items []item) []item {
+	out := append([]item(nil), items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func drain(h *Heap[item]) []item {
+	var out []item
+	for h.Len() > 0 {
+		out = append(out, h.Pop())
+	}
+	return out
+}
+
+// TestPopOrderIsSortedOrder is the heap's core property: popping
+// everything yields exactly the slice-sorted order, including seq
+// tie-breaks among equal times.
+func TestPopOrderIsSortedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		items := make([]item, n)
+		for i := range items {
+			// Small time range forces many ties so the seq
+			// tie-break is actually exercised.
+			items[i] = item{time: int64(rng.Intn(8)), seq: uint64(i)}
+		}
+		var h Heap[item]
+		for _, it := range items {
+			h.Push(it)
+		}
+		got := drain(&h)
+		want := sortedCopy(items)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: drained %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBulkLoadInit checks the Append+Init bulk-load path against Push.
+func TestBulkLoadInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := make([]item, 100)
+	for i := range items {
+		items[i] = item{time: int64(rng.Intn(10)), seq: uint64(i)}
+	}
+	var h Heap[item]
+	for _, it := range items {
+		h.Append(it)
+	}
+	h.Init()
+	got := drain(&h)
+	want := sortedCopy(items)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFixTop mirrors the ff emulator's use: mutate the minimum in place,
+// FixTop, and expect the same pop sequence as a fresh heap would give.
+func TestFixTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Heap[item]
+	live := make(map[uint64]int64)
+	for i := 0; i < 32; i++ {
+		it := item{time: int64(rng.Intn(50)), seq: uint64(i)}
+		h.Push(it)
+		live[it.seq] = it.time
+	}
+	for step := 0; step < 500 && h.Len() > 0; step++ {
+		top := h.Peek()
+		if want := live[top.seq]; top.time != want {
+			t.Fatalf("step %d: peeked stale element %v, want time %d", step, top, want)
+		}
+		// The front element must be the global minimum.
+		for seq, tm := range live {
+			if tm < top.time || (tm == top.time && seq < top.seq) {
+				t.Fatalf("step %d: top %v but live (%d,%d) sorts earlier", step, top, tm, seq)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			h.Pop()
+			delete(live, top.seq)
+			continue
+		}
+		adv := item{time: top.time + int64(rng.Intn(20)), seq: top.seq}
+		h.s[0] = adv
+		h.FixTop()
+		live[adv.seq] = adv.time
+	}
+}
+
+// TestResetKeepsCapacity pins the pooled-owner contract: after Reset the
+// backing array is reused, so a warm heap pushes without allocating.
+func TestResetKeepsCapacity(t *testing.T) {
+	var h Heap[item]
+	for i := 0; i < 256; i++ {
+		h.Push(item{time: int64(i % 7), seq: uint64(i)})
+	}
+	c := cap(h.s)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	if cap(h.s) != c {
+		t.Fatalf("Reset dropped capacity: %d -> %d", c, cap(h.s))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		h.Reset()
+		for i := 0; i < 256; i++ {
+			h.Push(item{time: int64(i % 7), seq: uint64(i)})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm push allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// FuzzHeapPopOrder mirrors the tree fuzzers: arbitrary byte-derived
+// workloads of pushes and pops must always drain in sorted order with
+// stable seq tie-breaks.
+func FuzzHeapPopOrder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{255, 1, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Heap[item]
+		var seq uint64
+		var pending []item
+		var popped []item
+		for _, b := range data {
+			if b&0x80 != 0 && h.Len() > 0 {
+				popped = append(popped, h.Pop())
+				continue
+			}
+			it := item{time: int64(b & 0x7f), seq: seq}
+			seq++
+			h.Push(it)
+			pending = append(pending, it)
+		}
+		popped = append(popped, drain(&h)...)
+		if len(popped) != len(pending) {
+			t.Fatalf("popped %d of %d pushed", len(popped), len(pending))
+		}
+		// Every element must come out exactly once; the final drain
+		// must be sorted (interleaved pops may legitimately emit an
+		// element before a later, smaller push).
+		seen := make(map[uint64]bool, len(popped))
+		for _, it := range popped {
+			if seen[it.seq] {
+				t.Fatalf("element %v popped twice", it)
+			}
+			seen[it.seq] = true
+		}
+		// Replay the same operations against sort-based reference:
+		// at each pop, the reference removes its current minimum; the
+		// heap must agree.
+		var ref []item
+		var rh Heap[item]
+		_ = rh
+		i := 0
+		seq = 0
+		var refPopped []item
+		for _, b := range data {
+			if b&0x80 != 0 && len(ref) > 0 {
+				min := 0
+				for k := 1; k < len(ref); k++ {
+					if ref[k].Less(ref[min]) {
+						min = k
+					}
+				}
+				refPopped = append(refPopped, ref[min])
+				ref = append(ref[:min], ref[min+1:]...)
+				continue
+			}
+			it := item{time: int64(b & 0x7f), seq: seq}
+			seq++
+			ref = append(ref, it)
+		}
+		refPopped = append(refPopped, sortedCopy(ref)...)
+		for i = range refPopped {
+			if popped[i] != refPopped[i] {
+				t.Fatalf("op %d: heap popped %v, reference %v", i, popped[i], refPopped[i])
+			}
+		}
+	})
+}

@@ -40,6 +40,9 @@ func BenchmarkSweepScaling(b *testing.B) {
 	b.ReportMetric(serialMS, "serial-ms/op")
 	b.ReportMetric(par4MS, "par4-ms/op")
 	b.ReportMetric(serialMS/par4MS, "speedup-x")
+	// Domain throughput: sweep cells (one validation sample each)
+	// completed per second on the 4-worker pool.
+	b.ReportMetric(float64(cfg.Samples)*1000/par4MS, "cells/sec")
 
 	csv := fmt.Sprintf("sweep,samples,serial_ms,par4_ms,speedup_x,cpus\nfig11,%d,%.2f,%.2f,%.2f,%d\n",
 		cfg.Samples, serialMS, par4MS, serialMS/par4MS, runtime.GOMAXPROCS(0))

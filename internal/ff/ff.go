@@ -25,12 +25,13 @@
 package ff
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"prophet/internal/clock"
+	"prophet/internal/eventq"
 	"prophet/internal/obs"
 	"prophet/internal/omprt"
 	"prophet/internal/tree"
@@ -152,21 +153,49 @@ func (st *state) tick() {
 	}
 }
 
+// statePool recycles per-top-section emulation state (CPU availability
+// slices, lock tables) across sweeps; scratch is acquired per section, so
+// concurrent emulations and nested sections never share one.
+var statePool = sync.Pool{New: func() any { return &state{} }}
+
+// init prepares pooled state for a fresh top-level section.
+func (st *state) init(p int, burden float64, ov omprt.Overheads, sched omprt.Sched, ctx context.Context, tracer obs.ExecTracer) {
+	if cap(st.avail) < p {
+		st.avail = make([]clock.Cycles, p)
+	} else {
+		st.avail = st.avail[:p]
+		for i := range st.avail {
+			st.avail[i] = 0
+		}
+	}
+	if st.lockFree == nil {
+		st.lockFree = make(map[int]clock.Cycles)
+	} else {
+		clear(st.lockFree)
+	}
+	st.burden = burden
+	st.ov = ov
+	st.sched = sched
+	st.ctx = ctx
+	st.steps = 0
+	st.tracer = tracer
+}
+
+func putState(st *state) {
+	st.ctx = nil
+	st.tracer = nil
+	statePool.Put(st)
+}
+
 func (e *Emulator) emulateTopSectionCtx(ctx context.Context, sec *tree.Node) clock.Cycles {
 	p := e.threads()
 	burden := 1.0
 	if e.UseBurden {
 		burden = sec.BurdenFor(p)
 	}
-	st := &state{
-		avail:    make([]clock.Cycles, p),
-		lockFree: make(map[int]clock.Cycles),
-		burden:   burden,
-		ov:       e.Ov,
-		sched:    e.Sched,
-		ctx:      ctx,
-		tracer:   e.Tracer,
-	}
+	st := statePool.Get().(*state)
+	defer putState(st)
+	st.init(p, burden, e.Ov, e.Sched, ctx, e.Tracer)
 	if sec.Pipeline {
 		return emulatePipeline(st, sec, 0, p)
 	}
@@ -178,26 +207,27 @@ type taskRef struct {
 	node *tree.Node
 }
 
-// expandTasks returns the logical task list of a section.
-func expandTasks(sec *tree.Node) []taskRef {
-	var out []taskRef
+// appendTasks appends the logical task list of a section to dst.
+func appendTasks(dst []taskRef, sec *tree.Node) []taskRef {
 	for _, c := range sec.Children {
 		if c.Kind != tree.Task {
 			continue
 		}
 		for r := 0; r < c.Reps(); r++ {
-			out = append(out, taskRef{node: c})
+			dst = append(dst, taskRef{node: c})
 		}
 	}
-	return out
+	return dst
 }
+
+// expandTasks returns the logical task list of a section.
+func expandTasks(sec *tree.Node) []taskRef { return appendTasks(nil, sec) }
 
 // worker is one emulated team member inside a section emulation. Workers
 // advance one segment at a time through the priority heap, so lock
 // acquisitions across workers happen in pseudo-time order (Fig. 5 depends
 // on this: the thread that reaches the lock earlier gets it first).
 type worker struct {
-	idx  int // heap index bookkeeping
 	id   int // worker rank
 	cpu  int
 	time clock.Cycles
@@ -215,31 +245,45 @@ type worker struct {
 	pendingJoin clock.Cycles
 }
 
-type workerHeap []*worker
-
-func (h workerHeap) Len() int { return len(h) }
-func (h workerHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// Less orders workers by pseudo-clock, rank breaking ties — a strict total
+// order, so the monomorphic heap visits workers in exactly the order the
+// container/heap implementation did.
+func (w *worker) Less(o *worker) bool {
+	if w.time != o.time {
+		return w.time < o.time
 	}
-	return h[i].id < h[j].id
+	return w.id < o.id
 }
-func (h workerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+// sectionScratch is the pooled per-section working set: the worker array,
+// the pseudo-clock heap over it, the expanded task list, and the shared
+// dynamic-schedule counter. One scratch is acquired per emulateSection /
+// emulateNested invocation (nested sections draw their own), so backing
+// arrays are reused across the thousands of sections a sweep emulates.
+type sectionScratch struct {
+	workers []worker
+	order   eventq.Heap[*worker]
+	tasks   []taskRef
+	fetch   fetchState
 }
-func (h *workerHeap) Push(x interface{}) {
-	w := x.(*worker)
-	w.idx = len(*h)
-	*h = append(*h, w)
-}
-func (h *workerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	*h = old[:n-1]
-	return w
+
+var sectionPool = sync.Pool{New: func() any { return &sectionScratch{} }}
+
+func getScratch() *sectionScratch { return sectionPool.Get().(*sectionScratch) }
+
+// putScratch zeroes pointer-bearing slots (so pooled scratch does not pin
+// program trees between emulations) and returns the scratch to the pool.
+func putScratch(sc *sectionScratch) {
+	sc.order.Reset()
+	for i := range sc.workers {
+		sc.workers[i] = worker{}
+	}
+	for i := range sc.tasks {
+		sc.tasks[i] = taskRef{}
+	}
+	sc.tasks = sc.tasks[:0]
+	sc.fetch = fetchState{}
+	sectionPool.Put(sc)
 }
 
 // emulateSection emulates one section (top-level or nested) starting at
@@ -247,7 +291,10 @@ func (h *workerHeap) Pop() interface{} {
 // overhead. Nested sections are emulated when the enclosing worker reaches
 // them (see runTask).
 func emulateSection(st *state, sec *tree.Node, start clock.Cycles, p int) clock.Cycles {
-	tasks := expandTasks(sec)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tasks = appendTasks(sc.tasks[:0], sec)
+	tasks := sc.tasks
 	n := len(tasks)
 	if n == 0 {
 		return 0
@@ -259,36 +306,42 @@ func emulateSection(st *state, sec *tree.Node, start clock.Cycles, p int) clock.
 	// The master forks nt-1 workers.
 	begin := start + st.ov.ForkPerThread*clock.Cycles(nt-1)
 
-	workers := make([]*worker, nt)
+	if cap(sc.workers) < nt {
+		sc.workers = make([]worker, nt)
+	} else {
+		sc.workers = sc.workers[:nt]
+	}
 	for w := 0; w < nt; w++ {
-		workers[w] = &worker{id: w, cpu: w % p, time: begin + st.ov.WorkerInit}
+		sc.workers[w] = worker{id: w, cpu: w % p, time: begin + st.ov.WorkerInit}
 	}
-	assignStatic(st.sched, workers, tasks)
-	shared := &fetchState{tasks: tasks, sched: st.sched, nt: nt}
+	assignStatic(st.sched, sc.workers, tasks)
+	sc.fetch = fetchState{tasks: tasks, sched: st.sched, nt: nt}
+	shared := &sc.fetch
 
-	h := make(workerHeap, 0, nt)
-	for _, w := range workers {
-		h = append(h, w)
+	h := &sc.order
+	h.Grow(nt)
+	for w := range sc.workers {
+		h.Append(&sc.workers[w])
 	}
-	heap.Init(&h)
+	h.Init()
 	var finish clock.Cycles
 	for h.Len() > 0 {
 		st.tick()
-		w := h[0]
+		w := h.Peek()
 		if w.cur == nil {
 			tr, dispatch, ok := nextTask(st, w, shared)
 			if !ok {
 				if w.time > finish {
 					finish = w.time
 				}
-				heap.Pop(&h)
+				h.Pop()
 				continue
 			}
 			w.time += dispatch
 			w.cur, w.segIdx, w.repIdx = tr.node, 0, 0
 		}
 		stepSegment(st, w, p)
-		heap.Fix(&h, 0)
+		h.FixTop()
 	}
 	return finish - start + st.ov.JoinBarrier
 }
@@ -326,7 +379,7 @@ type fetchState struct {
 }
 
 // assignStatic precomputes task queues for the static schedules.
-func assignStatic(sched omprt.Sched, workers []*worker, tasks []taskRef) {
+func assignStatic(sched omprt.Sched, workers []worker, tasks []taskRef) {
 	nt := len(workers)
 	n := len(tasks)
 	switch sched.Kind {
@@ -472,12 +525,16 @@ func runTask(st *state, w *worker, task *tree.Node, p int) {
 // both the section start and its CPU's availability. It returns the
 // section duration.
 func emulateNested(st *state, sec *tree.Node, start clock.Cycles, homeCPU, p int) clock.Cycles {
-	tasks := expandTasks(sec)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.tasks = appendTasks(sc.tasks[:0], sec)
+	tasks := sc.tasks
 	if len(tasks) == 0 {
 		return 0
 	}
 	begin := start + st.ov.ForkPerThread*clock.Cycles(minInt(p, len(tasks))-1)
 	var finish clock.Cycles
+	var nw worker
 	for j, tr := range tasks {
 		st.tick()
 		cpu := (homeCPU + j) % p
@@ -486,8 +543,8 @@ func emulateNested(st *state, sec *tree.Node, start clock.Cycles, homeCPU, p int
 			t = a
 		}
 		t += st.ov.Dispatch
-		nw := &worker{id: j, cpu: cpu, time: t}
-		runTask(st, nw, tr.node, p)
+		nw = worker{id: j, cpu: cpu, time: t}
+		runTask(st, &nw, tr.node, p)
 		st.avail[cpu] = nw.time
 		if nw.time > finish {
 			finish = nw.time

@@ -60,26 +60,46 @@ type DRAM struct {
 	cfg    DRAMConfig
 	demand float64 // sum of registered unconstrained demands (B/cycle)
 	active int
+	// Stretch memo: the fluid-model curve only depends on the aggregate
+	// demand, which changes far less often than Stretch is called (the
+	// engine re-evaluates it at every slice start). Keyed on the exact
+	// demand value, so the cached result is bit-identical to a
+	// recomputation. Bypassed while bwHook is installed, since a hook may
+	// legitimately vary between calls.
+	stretchDemand float64
+	stretchVal    float64
+	stretchOK     bool
 	// bwHook, when set, rescales the effective bandwidth (fault
 	// injection: internal/faults models DRAM degradation through it).
 	// No-op by default.
 	bwHook func(base float64) float64
 }
 
+// normalized fills zero-value fields with DefaultDRAM values.
+func (c DRAMConfig) normalized() DRAMConfig {
+	def := DefaultDRAM()
+	if c.UnloadedLatency <= 0 {
+		c.UnloadedLatency = def.UnloadedLatency
+	}
+	if c.BandwidthBytesPerCycle <= 0 {
+		c.BandwidthBytesPerCycle = def.BandwidthBytesPerCycle
+	}
+	if c.Knee <= 0 || c.Knee > 1 {
+		c.Knee = def.Knee
+	}
+	return c
+}
+
 // NewDRAM returns a DRAM model with the given configuration. Zero-value
 // fields fall back to DefaultDRAM values.
 func NewDRAM(cfg DRAMConfig) *DRAM {
-	def := DefaultDRAM()
-	if cfg.UnloadedLatency <= 0 {
-		cfg.UnloadedLatency = def.UnloadedLatency
-	}
-	if cfg.BandwidthBytesPerCycle <= 0 {
-		cfg.BandwidthBytesPerCycle = def.BandwidthBytesPerCycle
-	}
-	if cfg.Knee <= 0 || cfg.Knee > 1 {
-		cfg.Knee = def.Knee
-	}
-	return &DRAM{cfg: cfg}
+	return &DRAM{cfg: cfg.normalized()}
+}
+
+// Reset reinitializes the model in place for a fresh run with the given
+// configuration — the pooled-machine equivalent of NewDRAM.
+func (d *DRAM) Reset(cfg DRAMConfig) {
+	*d = DRAM{cfg: cfg.normalized()}
 }
 
 // Config returns the model's configuration.
@@ -130,13 +150,19 @@ func (d *DRAM) SetBandwidthHook(hook func(base float64) float64) {
 // knee and saturation, queueing grows latency linearly; past saturation the
 // fluid-sharing limit applies: every byte takes demand/B times longer.
 func (d *DRAM) Stretch() float64 {
-	cfg := d.cfg
 	if d.bwHook != nil {
+		cfg := d.cfg
 		if b := d.bwHook(cfg.BandwidthBytesPerCycle); b > 0 {
 			cfg.BandwidthBytesPerCycle = b
 		}
+		return cfg.StretchAt(d.demand)
 	}
-	return cfg.StretchAt(d.demand)
+	if d.stretchOK && d.demand == d.stretchDemand {
+		return d.stretchVal
+	}
+	v := d.cfg.StretchAt(d.demand)
+	d.stretchDemand, d.stretchVal, d.stretchOK = d.demand, v, true
+	return v
 }
 
 // StretchAt computes the stretch for an arbitrary aggregate demand. Exposed

@@ -1,0 +1,62 @@
+// Package pprofutil wires the conventional -cpuprofile/-memprofile flags
+// into the repo's commands, so hot-path work (the DES engine, the FF
+// emulator, compression) can be profiled straight from a paper-scale run:
+//
+//	ppexp -fig 12 -cpuprofile cpu.pprof && go tool pprof cpu.pprof
+package pprofutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for a heap profile
+// at memPath; either may be empty to skip that profile. The returned stop
+// function finishes the CPU profile and writes the heap profile; it is
+// idempotent, so callers can both defer it and invoke it explicitly on
+// early-exit paths. Profile-writing errors at stop time are reported to
+// stderr rather than returned — by then the command's real output is
+// already produced and a broken profile should not fail the run.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live heap so the profile shows retained objects
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -189,13 +189,13 @@ func (m *Machine) deadlockError() *DeadlockError {
 		}
 	}
 	waitsJoin := map[int]int{} // thread ID -> joined thread ID
-	for _, t := range m.threads {
+	for _, t := range m.threads[:m.nextID] {
 		for _, j := range t.joiners {
 			waitsJoin[j.id] = t.id
 		}
 	}
 
-	for _, t := range m.threads {
+	for _, t := range m.threads[:m.nextID] {
 		if t.state == stateExited {
 			continue
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"sync"
 
 	"prophet/internal/clock"
 	"prophet/internal/obs"
@@ -60,7 +61,7 @@ type RunOpts struct {
 // thread goroutine is unwound before RunOpt returns — a failed run leaks
 // nothing, whatever state the workload was in.
 func RunOpt(cfg Config, o RunOpts, main func(*Thread)) (clock.Cycles, Stats, error) {
-	m := New(cfg)
+	m := getMachine(cfg)
 	if o.Ctx != nil {
 		m.ctx = o.Ctx
 	}
@@ -75,7 +76,38 @@ func RunOpt(cfg Config, o RunOpts, main func(*Thread)) (clock.Cycles, Stats, err
 	}
 	t := m.newThread(main)
 	m.makeReady(t)
-	return m.run()
+	end, stats, err := m.run()
+	releaseMachine(m)
+	return end, stats, err
+}
+
+// machinePool recycles machines between RunOpt calls: the event heap, core
+// and ready arrays, lock states and thread slots (with their semaphore
+// channels) all reach a steady state where a sweep cell's runs allocate
+// almost nothing beyond the goroutine stacks.
+var machinePool sync.Pool
+
+func getMachine(cfg Config) *Machine {
+	if v := machinePool.Get(); v != nil {
+		m := v.(*Machine)
+		m.reset(cfg)
+		return m
+	}
+	return New(cfg)
+}
+
+// releaseMachine drops the external references a finished run may hold
+// (observers, hooks, the failure value) and returns the machine to the
+// pool. Safe because run() waits for every thread goroutine to unwind.
+func releaseMachine(m *Machine) {
+	m.ctx = context.Background()
+	m.recorder = nil
+	m.tracer = nil
+	m.metrics = nil
+	m.faults = nil
+	m.err = nil
+	m.dram.SetBandwidthHook(nil)
+	machinePool.Put(m)
 }
 
 // RunCtx is RunOpt with only a cancellation context.

@@ -20,16 +20,33 @@
 // Virtual time is in cycles. A thread advances time only through engine
 // calls (Work, WorkMem, Lock, ...); code between calls is free, and
 // runtimes model their own overheads with explicit Work calls.
+//
+// # Engine execution model
+//
+// There is no dedicated engine goroutine. The engine is a flat state
+// machine (advance) run by whichever goroutine currently holds the baton:
+// initially the Run caller, afterwards the thread goroutines themselves.
+// An engine call from a thread invokes handle directly — when the thread
+// keeps running (lock acquired uncontended, token consumed, spawn, ...)
+// the call returns with zero goroutine switches. When the thread parks,
+// the same goroutine drives advance to the next thread to resume and
+// hands the baton over through that thread's one-slot semaphore channel
+// (at most one switch, against two for the classic request/resume
+// rendezvous — and zero when advance resumes the calling thread itself).
+// The baton discipline is what makes the engine state safe without locks:
+// exactly one goroutine runs engine code at any time, and every transfer
+// happens through a channel operation, which carries the happens-before
+// edge.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
 
 	"prophet/internal/clock"
+	"prophet/internal/eventq"
 	"prophet/internal/mem"
 	"prophet/internal/obs"
 )
@@ -113,12 +130,17 @@ const (
 // Thread is a virtual thread of the simulated machine. All methods must be
 // called from the thread's own function (the engine enforces the
 // one-at-a-time discipline).
+//
+// Thread objects are pooled: they are only valid while the run that
+// created them is in progress.
 type Thread struct {
-	id     int
-	m      *Machine
-	resume chan struct{}
-	state  tstate
-	core   int // core index while running, -1 otherwise
+	id int
+	m  *Machine
+	// sem is the thread's one-slot baton semaphore: a token arrives when
+	// the engine resumes the thread (or when a failed run unwinds it).
+	sem   chan struct{}
+	state tstate
+	core  int // core index while running, -1 otherwise
 
 	// Pending work request.
 	instrLeft  float64
@@ -171,7 +193,6 @@ type request struct {
 	lock   int
 	other  *Thread
 	fn     func(*Thread)
-	reply  *Thread // spawn result
 	// panicVal/stack carry a recovered thread panic (opPanic).
 	panicVal any
 	stack    []byte
@@ -192,23 +213,13 @@ type event struct {
 	wake *Thread
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// Less orders events by time, with the monotonic sequence number breaking
+// ties so pop order is deterministic (eventq requires caller tie-breaks).
+func (a event) Less(b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 type coreState struct {
@@ -218,30 +229,75 @@ type coreState struct {
 	lastThread  *Thread
 }
 
+// enginePhase is the resumable position inside the engine state machine.
+// The classic engine was a nested loop (scheduling fixpoint inside the
+// event loop) that called blocked-thread code synchronously; flattening it
+// into explicit phases lets any goroutine resume the engine exactly where
+// the previous baton holder left off, preserving the original decision
+// order (and therefore byte-identical output).
+type enginePhase uint8
+
+const (
+	// phTop is the top of the event loop: liveness check, then a fresh
+	// scheduling fixpoint.
+	phTop enginePhase = iota
+	// phAssign is mid-pass through the cores of the scheduling fixpoint;
+	// assignIdx/assignPlaced carry the continuation.
+	phAssign
+	// phEvents pops and applies the next slice-end/wake event.
+	phEvents
+)
+
 // Machine is the simulated multicore machine.
 type Machine struct {
-	cfg     Config
-	ctx     context.Context
-	dram    *mem.DRAM
-	now     clock.Cycles
-	reqCh   chan request
-	ready   []*Thread
-	cores   []coreState
-	events  eventHeap
-	seq     uint64
-	live    int
-	nextID  int
-	locks   map[int]*lockState
+	cfg   Config
+	ctx   context.Context
+	dram  *mem.DRAM
+	now   clock.Cycles
+	ready []*Thread
+	cores []coreState
+	// events is the monomorphic min-heap of slice-end and wake events —
+	// no interface{} boxing, backing array reused across pooled runs.
+	events eventq.Heap[event]
+	seq    uint64
+	live   int
+	nextID int
+	locks  map[int]*lockState
+	// lockFree recycles lockState structs across pooled runs.
+	lockFree []*lockState
+	// threads holds every thread slot ever created on this machine;
+	// only threads[:nextID] belong to the current run, later slots are
+	// retained for reuse (their goroutines have exited, their semaphore
+	// channels are empty).
 	threads []*Thread
 	stats   Stats
 	end     clock.Cycles
+
+	// Engine continuation (see enginePhase).
+	phase        enginePhase
+	assignIdx    int
+	assignPlaced bool
+
+	// Last-segment demand memo: threads running identical work segments
+	// (the common case in data-parallel loops) reuse the previous
+	// UnconstrainedDemand result. Keyed on the exact float pair, so the
+	// cached value is bit-identical to a recomputation.
+	demandInstr  float64
+	demandMisses float64
+	demandVal    float64
+	demandOK     bool
+
 	// err is the first failure (deadlock, misuse, budget, panic,
 	// cancellation); once set the engine unwinds instead of continuing.
 	err error
-	// abort is closed when the engine unwinds; blocked thread goroutines
-	// observe it and exit so a failed run leaks nothing.
-	abort chan struct{}
-	wg    sync.WaitGroup
+	// aborted tells woken threads the run is unwinding; it is always
+	// published before the wake token, so the channel receive carries
+	// the happens-before edge.
+	aborted bool
+	// done receives one token when the run finishes (buffered so the
+	// finishing thread never blocks on the driver).
+	done chan struct{}
+	wg   sync.WaitGroup
 	// faults, when set, perturbs scheduling (see FaultHooks in run.go).
 	faults *FaultHooks
 	// recorder, when set, captures executed work slices (see trace.go).
@@ -262,15 +318,59 @@ func New(cfg Config) *Machine {
 		cfg:   cfg,
 		ctx:   context.Background(),
 		dram:  mem.NewDRAM(cfg.DRAM),
-		reqCh: make(chan request),
 		cores: make([]coreState, cfg.Cores),
 		locks: make(map[int]*lockState),
-		abort: make(chan struct{}),
+		done:  make(chan struct{}, 1),
 	}
 	for i := range m.cores {
 		m.cores[i].quantumLeft = cfg.Quantum
 	}
 	return m
+}
+
+// reset prepares a pooled machine for a fresh run. Heap, core, ready and
+// thread storage (including the per-thread semaphore channels) is retained,
+// so a warmed machine starts a run with near-zero allocation.
+func (m *Machine) reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	m.cfg = cfg
+	m.ctx = context.Background()
+	m.dram.Reset(cfg.DRAM)
+	m.now = 0
+	m.ready = m.ready[:0]
+	if cap(m.cores) >= cfg.Cores {
+		m.cores = m.cores[:cfg.Cores]
+	} else {
+		m.cores = make([]coreState, cfg.Cores)
+	}
+	for i := range m.cores {
+		m.cores[i] = coreState{quantumLeft: cfg.Quantum}
+	}
+	m.events.Reset()
+	m.seq = 0
+	m.live = 0
+	m.nextID = 0
+	for id, l := range m.locks {
+		l.owner = nil
+		l.waiters = l.waiters[:0]
+		m.lockFree = append(m.lockFree, l)
+		delete(m.locks, id)
+	}
+	m.stats = Stats{}
+	m.end = 0
+	m.phase = phTop
+	m.assignIdx = 0
+	m.assignPlaced = false
+	m.demandInstr = 0
+	m.demandMisses = 0
+	m.demandVal = 0
+	m.demandOK = false
+	m.err = nil
+	m.aborted = false
+	m.faults = nil
+	m.recorder = nil
+	m.tracer = nil
+	m.metrics = nil
 }
 
 // Run executes main as thread 0 of a machine with the given configuration
@@ -293,11 +393,18 @@ func (m *Machine) fail(err error) {
 	}
 }
 
-// run drives the engine to completion or failure, then unwinds every
-// remaining thread goroutine so a failed run leaks nothing.
+// run drives the engine to completion or failure, then waits for every
+// thread goroutine to unwind so a finished run leaks nothing.
 func (m *Machine) run() (clock.Cycles, Stats, error) {
-	m.loop()
-	close(m.abort)
+	if next := m.advance(); next != nil {
+		next.now = m.now
+		next.sem <- struct{}{}
+	} else {
+		// No thread to start (cannot happen with a ready main thread,
+		// kept for protocol completeness).
+		m.finish(nil)
+	}
+	<-m.done
 	m.wg.Wait()
 	if m.metrics != nil {
 		m.metrics.Counter(obs.MSimRuns).Inc()
@@ -320,37 +427,104 @@ func (m *Machine) Time() clock.Cycles { return m.now }
 func (m *Machine) DRAM() *mem.DRAM { return m.dram }
 
 func (m *Machine) newThread(f func(*Thread)) *Thread {
-	t := &Thread{id: m.nextID, m: m, resume: make(chan struct{}), core: -1, state: stateReady, pinned: -1}
+	var t *Thread
+	if m.nextID < len(m.threads) {
+		// Reuse the pooled slot: its goroutine has exited and every
+		// semaphore token ever sent to it was consumed, so the channel
+		// can be carried over empty.
+		t = m.threads[m.nextID]
+		joiners := t.joiners[:0]
+		sem := t.sem
+		*t = Thread{id: m.nextID, m: m, sem: sem, core: -1, state: stateReady, pinned: -1}
+		t.joiners = joiners
+	} else {
+		t = &Thread{id: m.nextID, m: m, sem: make(chan struct{}, 1), core: -1, state: stateReady, pinned: -1}
+		m.threads = append(m.threads, t)
+	}
 	m.nextID++
 	m.live++
-	m.threads = append(m.threads, t)
 	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				if r == errAbortRun {
-					return // engine-initiated unwind
-				}
-				// A bug in the thread function: report it to the
-				// engine as a typed error instead of crashing the
-				// host process.
-				stack := debug.Stack()
-				select {
-				case m.reqCh <- request{t: t, kind: opPanic, panicVal: r, stack: stack}:
-				case <-m.abort:
-				}
-			}
-		}()
-		select {
-		case <-t.resume:
-		case <-m.abort:
-			return
-		}
-		f(t)
-		t.sendReq(request{t: t, kind: opExit})
-	}()
+	go m.threadBody(t, f)
 	return t
+}
+
+// threadBody is the goroutine behind one virtual thread. A named method
+// (rather than a closure in newThread) keeps the per-spawn allocation
+// profile flat.
+func (m *Machine) threadBody(t *Thread, f func(*Thread)) {
+	defer m.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errAbortRun {
+				return // engine-initiated unwind
+			}
+			// A bug in the thread function: panics can only happen
+			// while the thread's code runs, so this goroutine still
+			// holds the baton — report the failure as a typed error
+			// and drive the engine into its unwind directly.
+			m.handle(request{t: t, kind: opPanic, panicVal: r, stack: debug.Stack()})
+			m.exitHandoff(t)
+		}
+	}()
+	<-t.sem
+	if m.aborted {
+		return
+	}
+	f(t)
+	m.handle(request{t: t, kind: opExit})
+	m.exitHandoff(t)
+}
+
+// handoff is called by t's goroutine after a handled request parked,
+// blocked or preempted t: it drives the engine to the next runnable
+// thread, passes the baton, and waits to be resumed. When the engine
+// immediately reselects t, the call returns without any goroutine switch.
+func (m *Machine) handoff(t *Thread) {
+	next := m.advance()
+	if next == t {
+		t.now = m.now
+		return
+	}
+	if next != nil {
+		next.now = m.now
+		next.sem <- struct{}{}
+	} else {
+		// The run is over while t is still live, which only happens on
+		// failure: publish the unwind and abandon t's own code.
+		m.finish(t)
+		panic(errAbortRun)
+	}
+	<-t.sem
+	if m.aborted {
+		panic(errAbortRun)
+	}
+}
+
+// exitHandoff passes the baton onward after t exited (or panicked): drive
+// the engine to the next thread, or finish the run. The calling goroutine
+// returns instead of waiting — an exited thread is never resumed.
+func (m *Machine) exitHandoff(t *Thread) {
+	if next := m.advance(); next != nil {
+		next.now = m.now
+		next.sem <- struct{}{}
+		return
+	}
+	m.finish(t)
+}
+
+// finish ends the run: it publishes the aborted flag, wakes every
+// still-parked thread goroutine so it can unwind, and signals the driver.
+// Only the baton holder calls finish, so every live thread other than self
+// is parked on its empty semaphore.
+func (m *Machine) finish(self *Thread) {
+	m.aborted = true
+	for _, t := range m.threads[:m.nextID] {
+		if t == self || t.state == stateExited {
+			continue
+		}
+		t.sem <- struct{}{}
+	}
+	m.done <- struct{}{}
 }
 
 func (m *Machine) makeReady(t *Thread) {
@@ -363,55 +537,112 @@ func (m *Machine) makeReady(t *Thread) {
 	m.ready = append(m.ready, t)
 }
 
-// loop is the engine: it assigns ready threads to idle cores, pops the next
-// slice-end event, and advances virtual time until every thread has exited
-// or the run fails (deadlock, misuse, watchdog, cancellation).
-func (m *Machine) loop() {
-	for m.live > 0 && m.err == nil {
-		m.assignCores()
-		if m.live == 0 || m.err != nil {
-			break
-		}
-		if len(m.events) == 0 {
-			if m.anyRunnable() {
+// advance is the engine: it assigns ready threads to idle cores, pops the
+// next slice-end event, and advances virtual time until a thread must
+// resume its code (returned) or the run is over (nil: every thread exited,
+// or err is set). It resumes from the phase where the previous baton
+// holder suspended, replicating the exact decision order of the original
+// nested loop so emitted results are byte-identical.
+func (m *Machine) advance() *Thread {
+	for {
+		switch m.phase {
+		case phTop:
+			if m.live == 0 || m.err != nil {
+				return nil
+			}
+			m.assignPlaced = false
+			m.assignIdx = 0
+			m.phase = phAssign
+
+		case phAssign:
+			// One pass over the cores, resumable at assignIdx:
+			// starting a thread can run its code synchronously, which
+			// may free the core again or wake further threads, so
+			// passes repeat until a fixpoint.
+			for i := m.assignIdx; i < len(m.cores); i++ {
+				if m.err != nil {
+					break
+				}
+				if m.cores[i].running != nil || len(m.ready) == 0 {
+					continue
+				}
+				// First ready thread compatible with this core (FIFO
+				// among compatible threads; pinned threads wait for
+				// their core).
+				picked := -1
+				for k, t := range m.ready {
+					if t.pinned == -1 || t.pinned == i {
+						picked = k
+						break
+					}
+				}
+				if picked < 0 {
+					continue
+				}
+				t := m.ready[picked]
+				m.ready = append(m.ready[:picked], m.ready[picked+1:]...)
+				m.assignPlaced = true
+				if next := m.startOn(i, t); next != nil {
+					m.assignIdx = i + 1
+					return next
+				}
+			}
+			if m.assignPlaced && m.err == nil {
+				m.assignPlaced = false
+				m.assignIdx = 0
 				continue
 			}
-			m.fail(m.deadlockError())
-			break
-		}
-		if max := m.cfg.MaxEvents; max > 0 && m.stats.Events >= max {
-			m.fail(&BudgetError{Time: m.now, Events: m.stats.Events, MaxEvents: max, MaxTime: m.cfg.MaxVirtualTime})
-			break
-		}
-		if maxT := m.cfg.MaxVirtualTime; maxT > 0 && m.now >= maxT {
-			m.fail(&BudgetError{Time: m.now, Events: m.stats.Events, MaxEvents: m.cfg.MaxEvents, MaxTime: maxT})
-			break
-		}
-		// Poll the context every 4096 events: often enough to meet a
-		// deadline, rare enough to stay off the hot path.
-		if m.stats.Events&0xfff == 0 {
-			if err := m.ctx.Err(); err != nil {
-				m.fail(fmt.Errorf("sim: run aborted at t=%d after %d events: %w", m.now, m.stats.Events, err))
-				break
+			m.phase = phEvents
+
+		case phEvents:
+			if m.live == 0 || m.err != nil {
+				return nil
 			}
-		}
-		e := heap.Pop(&m.events).(event)
-		m.stats.Events++
-		if e.wake != nil {
+			if m.events.Len() == 0 {
+				if m.anyRunnable() {
+					m.phase = phTop
+					continue
+				}
+				m.fail(m.deadlockError())
+				return nil
+			}
+			if max := m.cfg.MaxEvents; max > 0 && m.stats.Events >= max {
+				m.fail(&BudgetError{Time: m.now, Events: m.stats.Events, MaxEvents: max, MaxTime: m.cfg.MaxVirtualTime})
+				return nil
+			}
+			if maxT := m.cfg.MaxVirtualTime; maxT > 0 && m.now >= maxT {
+				m.fail(&BudgetError{Time: m.now, Events: m.stats.Events, MaxEvents: m.cfg.MaxEvents, MaxTime: maxT})
+				return nil
+			}
+			// Poll the context every 4096 events: often enough to meet a
+			// deadline, rare enough to stay off the hot path.
+			if m.stats.Events&0xfff == 0 {
+				if err := m.ctx.Err(); err != nil {
+					m.fail(fmt.Errorf("sim: run aborted at t=%d after %d events: %w", m.now, m.stats.Events, err))
+					return nil
+				}
+			}
+			e := m.events.Pop()
+			m.stats.Events++
+			m.phase = phTop
+			if e.wake != nil {
+				if e.time > m.now {
+					m.now = e.time
+				}
+				m.makeReady(e.wake)
+				continue
+			}
+			c := &m.cores[e.core]
+			if c.gen != e.gen || c.running == nil {
+				continue // stale event from a cancelled slice
+			}
 			if e.time > m.now {
 				m.now = e.time
 			}
-			m.makeReady(e.wake)
-			continue
+			if next := m.sliceEnd(e.core); next != nil {
+				return next
+			}
 		}
-		c := &m.cores[e.core]
-		if c.gen != e.gen || c.running == nil {
-			continue // stale event from a cancelled slice
-		}
-		if e.time > m.now {
-			m.now = e.time
-		}
-		m.sliceEnd(e.core)
 	}
 }
 
@@ -419,46 +650,6 @@ func (m *Machine) anyRunnable() bool {
 	return len(m.ready) > 0
 }
 
-// assignCores places ready threads onto idle cores until a fixpoint:
-// starting a thread can run its code synchronously (startOn -> serve),
-// which may free the core again or wake further threads, so a single pass
-// is not enough.
-func (m *Machine) assignCores() {
-	for m.err == nil {
-		placed := false
-		for i := range m.cores {
-			if m.err != nil {
-				return
-			}
-			if m.cores[i].running != nil || len(m.ready) == 0 {
-				continue
-			}
-			// First ready thread compatible with this core (FIFO
-			// among compatible threads; pinned threads wait for
-			// their core).
-			picked := -1
-			for k, t := range m.ready {
-				if t.pinned == -1 || t.pinned == i {
-					picked = k
-					break
-				}
-			}
-			if picked < 0 {
-				continue
-			}
-			t := m.ready[picked]
-			m.ready = append(m.ready[:picked], m.ready[picked+1:]...)
-			m.startOn(i, t)
-			placed = true
-		}
-		if !placed {
-			return
-		}
-	}
-}
-
-// startOn places thread t on core i with a fresh quantum and either starts
-// its pending work slice or resumes its code.
 // quantumFor yields the scheduling quantum for a fresh slice on core i,
 // applying the fault-injection jitter hook when installed.
 func (m *Machine) quantumFor(i int) clock.Cycles {
@@ -471,7 +662,10 @@ func (m *Machine) quantumFor(i int) clock.Cycles {
 	return q
 }
 
-func (m *Machine) startOn(i int, t *Thread) {
+// startOn places thread t on core i with a fresh quantum and either starts
+// its pending work slice (nil return) or asks the caller to resume its
+// code (t returned).
+func (m *Machine) startOn(i int, t *Thread) *Thread {
 	if m.tracer != nil {
 		m.tracer.Exec(obs.ExecEvent{Kind: obs.KSchedule, Time: m.now, Core: i, Thread: t.id, Lock: -1})
 	}
@@ -488,13 +682,15 @@ func (m *Machine) startOn(i int, t *Thread) {
 	c.lastThread = t
 	if t.instrLeft > 0 || t.missesLeft > 0 {
 		m.startSlice(i, overhead)
-	} else if overhead > 0 {
+		return nil
+	}
+	if overhead > 0 {
 		// Pay the switch cost before the thread continues.
 		t.instrLeft = 0
 		m.scheduleSlice(i, overhead, 0)
-	} else {
-		m.serve(t)
+		return nil
 	}
+	return t
 }
 
 // startSlice begins (or continues) the thread's current work request on
@@ -504,7 +700,12 @@ func (m *Machine) startSlice(i int, overhead clock.Cycles) {
 	t := c.running
 	stretch := 1.0
 	if t.missesLeft > 0 {
-		t.demand = m.cfg.DRAM.UnconstrainedDemand(t.instrLeft, t.missesLeft)
+		if m.demandOK && t.instrLeft == m.demandInstr && t.missesLeft == m.demandMisses {
+			t.demand = m.demandVal
+		} else {
+			t.demand = m.cfg.DRAM.UnconstrainedDemand(t.instrLeft, t.missesLeft)
+			m.demandInstr, m.demandMisses, m.demandVal, m.demandOK = t.instrLeft, t.missesLeft, t.demand, true
+		}
 		m.dram.Register(t.demand)
 		stretch = m.dram.Stretch()
 	}
@@ -528,13 +729,13 @@ func (m *Machine) scheduleSlice(i int, overhead, work clock.Cycles) {
 	c := &m.cores[i]
 	c.gen++
 	m.seq++
-	heap.Push(&m.events, event{time: m.now + overhead + work, seq: m.seq, core: i, gen: c.gen})
+	m.events.Push(event{time: m.now + overhead + work, seq: m.seq, core: i, gen: c.gen})
 }
 
 // sliceEnd handles the expiry of core i's current slice: work progress is
-// booked, and the thread either continues, is preempted, or resumes its
-// code.
-func (m *Machine) sliceEnd(i int) {
+// booked, and the thread either continues, is preempted, or — when t is
+// returned — must resume its code.
+func (m *Machine) sliceEnd(i int) *Thread {
 	c := &m.cores[i]
 	t := c.running
 	if t.demand > 0 {
@@ -568,8 +769,7 @@ func (m *Machine) sliceEnd(i int) {
 	const eps = 0.5
 	if t.instrLeft < eps && t.missesLeft < eps {
 		t.instrLeft, t.missesLeft = 0, 0
-		m.serve(t)
-		return
+		return t
 	}
 	if c.quantumLeft <= 0 {
 		if len(m.ready) > 0 {
@@ -580,24 +780,12 @@ func (m *Machine) sliceEnd(i int) {
 			}
 			c.running = nil
 			m.makeReady(t)
-			return
+			return nil
 		}
 		c.quantumLeft = m.quantumFor(i)
 	}
 	m.startSlice(i, 0)
-}
-
-// serve resumes thread t's code and handles its requests until the thread
-// parks (work, blocked lock, join, park), is preempted, or exits.
-func (m *Machine) serve(t *Thread) {
-	for {
-		t.now = m.now
-		t.resume <- struct{}{}
-		req := <-m.reqCh
-		if m.handle(req) {
-			return
-		}
-	}
+	return nil
 }
 
 // handle processes one request; it returns true when the requesting thread
@@ -710,7 +898,7 @@ func (m *Machine) handle(req request) bool {
 		}
 		m.block(t)
 		m.seq++
-		heap.Push(&m.events, event{time: m.now + d, seq: m.seq, wake: t})
+		m.events.Push(event{time: m.now + d, seq: m.seq, wake: t})
 		return true
 
 	case opExit:
@@ -725,7 +913,7 @@ func (m *Machine) handle(req request) bool {
 		for _, j := range t.joiners {
 			m.makeReady(j)
 		}
-		t.joiners = nil
+		t.joiners = t.joiners[:0]
 		m.cores[t.core].running = nil
 		return true
 
@@ -755,7 +943,12 @@ func (m *Machine) block(t *Thread) {
 func (m *Machine) lock(id int) *lockState {
 	l := m.locks[id]
 	if l == nil {
-		l = &lockState{}
+		if n := len(m.lockFree); n > 0 {
+			l = m.lockFree[n-1]
+			m.lockFree = m.lockFree[:n-1]
+		} else {
+			l = &lockState{}
+		}
 		m.locks[id] = l
 	}
 	return l

@@ -7,26 +7,17 @@ import "prophet/internal/clock"
 // advance virtual time, preempt the thread, or block it; the call returns
 // when the engine schedules the thread again.
 
-// call submits a request and waits until the engine resumes this thread.
-// When the engine aborts the run (deadlock, misuse, budget, cancellation),
-// call unwinds the thread goroutine with a private panic that the wrapper
-// installed by newThread recovers.
+// call hands one request to the engine. The calling goroutine holds the
+// baton, so the request is handled inline: when the thread keeps running
+// the call returns immediately (no goroutine switch at all), otherwise the
+// goroutine drives the engine onward and parks until resumed (see
+// Machine.handoff). When the engine aborts the run (deadlock, misuse,
+// budget, cancellation), call unwinds the thread goroutine with a private
+// panic that the wrapper installed by newThread recovers.
 func (t *Thread) call(req request) {
 	req.t = t
-	t.sendReq(req)
-	select {
-	case <-t.resume:
-	case <-t.m.abort:
-		panic(errAbortRun)
-	}
-}
-
-// sendReq delivers a request to the engine, unwinding on abort.
-func (t *Thread) sendReq(req request) {
-	select {
-	case t.m.reqCh <- req:
-	case <-t.m.abort:
-		panic(errAbortRun)
+	if t.m.handle(req) {
+		t.m.handoff(t)
 	}
 }
 

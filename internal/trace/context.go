@@ -82,8 +82,17 @@ func NewSimProfiler(dram mem.DRAMConfig) *SimProfiler {
 
 // NewSimProfilerWithUnit selects the interval-length unit (§VI-A).
 func NewSimProfilerWithUnit(dram mem.DRAMConfig, unit LengthUnit) *SimProfiler {
+	return NewSimProfilerArena(dram, unit, nil)
+}
+
+// NewSimProfilerArena is NewSimProfilerWithUnit with program-tree nodes
+// drawn from a, for callers that profile repeatedly and discard each tree
+// (benchmarks, validation sweeps that own their samples). The returned
+// tree is valid only until a.Reset; see tree.Arena for the lifetime
+// contract. A nil arena falls back to heap allocation.
+func NewSimProfilerArena(dram mem.DRAMConfig, unit LengthUnit, a *tree.Arena) *SimProfiler {
 	p := &SimProfiler{clk: &clock.Virtual{}, dram: *applyDRAMDefaults(&dram), unit: unit}
-	p.Tracer = New(p.clk, p)
+	p.Tracer = NewWithArena(p.clk, p, a)
 	return p
 }
 
@@ -136,7 +145,14 @@ func (p *SimProfiler) Counters() counters.Sample {
 // Profile runs prog under a fresh SimProfiler and returns the program tree
 // along with the profiler (whose Counters hold whole-run totals).
 func Profile(prog Program, dram mem.DRAMConfig) (*tree.Node, *SimProfiler, error) {
-	p := NewSimProfiler(dram)
+	return ProfileArena(prog, dram, nil)
+}
+
+// ProfileArena is Profile with the tree allocated from a: repeated
+// profile-discard cycles (a.Reset between them) stop allocating node
+// storage once the arena is warm. The tree is only valid until a.Reset.
+func ProfileArena(prog Program, dram mem.DRAMConfig, a *tree.Arena) (*tree.Node, *SimProfiler, error) {
+	p := NewSimProfilerArena(dram, LengthCycles, a)
 	prog(p)
 	root, err := p.Finish()
 	return root, p, err

@@ -1,0 +1,117 @@
+package tree
+
+import (
+	"testing"
+
+	"prophet/internal/clock"
+	"prophet/internal/counters"
+)
+
+// TestArenaPointerStability checks that nodes stay addressable and intact
+// as the arena grows past many chunk boundaries.
+func TestArenaPointerStability(t *testing.T) {
+	a := NewArena()
+	const n = 4*arenaChunkSize + 37
+	ptrs := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		p := a.New()
+		p.Len = clock.Cycles(i)
+		ptrs[i] = p
+	}
+	if got := a.Allocated(); got != n {
+		t.Fatalf("Allocated() = %d, want %d", got, n)
+	}
+	for i, p := range ptrs {
+		if p.Len != clock.Cycles(i) {
+			t.Fatalf("node %d: Len = %d, want %d (pointer invalidated by growth?)", i, p.Len, i)
+		}
+	}
+}
+
+// TestArenaResetRecycles checks that Reset hands back zeroed nodes and
+// that a warm build-discard cycle allocates nothing.
+func TestArenaResetRecycles(t *testing.T) {
+	a := NewArena()
+	build := func() {
+		for i := 0; i < 3*arenaChunkSize; i++ {
+			p := a.New()
+			p.Kind = U
+			p.Len = 42
+			p.Children = append(p.Children, a.New())
+		}
+		a.Reset()
+	}
+	build() // warm: chunks and Children arrays reach steady state
+	if got := a.Allocated(); got != 0 {
+		t.Fatalf("Allocated() after Reset = %d, want 0", got)
+	}
+	p := a.New()
+	if p.Kind != Root || p.Len != 0 || len(p.Children) != 0 {
+		t.Fatalf("recycled node not zeroed: %+v", *p)
+	}
+	a.Reset()
+	if allocs := testing.AllocsPerRun(20, build); allocs != 0 {
+		t.Errorf("warm build-discard cycle allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestArenaCloneEquivalent checks Arena.Clone against Node.Clone.
+func TestArenaCloneEquivalent(t *testing.T) {
+	orig := &Node{Kind: Root, Children: []*Node{
+		{Kind: Sec, Name: "s", Counters: &counters.Sample{Instructions: 7}, Children: []*Node{
+			{Kind: Task, Name: "t", Burden: map[int]float64{12: 1.5}, Children: []*Node{
+				{Kind: U, Len: 100, Mem: MemTraits{Instructions: 90, LLCMisses: 2}},
+				{Kind: L, Len: 10, LockID: 3},
+			}},
+		}},
+	}}
+	a := NewArena()
+	for round := 0; round < 2; round++ { // round 1 exercises recycled nodes
+		cp := a.Clone(orig)
+		assertTreeEqual(t, orig, cp)
+		if cp == orig || cp.Children[0] == orig.Children[0] {
+			t.Fatal("Clone aliases the original")
+		}
+		if cp.Children[0].Counters == orig.Children[0].Counters {
+			t.Fatal("Clone aliases Counters")
+		}
+		// Mutating the clone must not touch the original.
+		cp.Children[0].Children[0].Children[0].Len = 999
+		if orig.Children[0].Children[0].Children[0].Len != 100 {
+			t.Fatal("clone mutation visible in original")
+		}
+		a.Reset()
+	}
+}
+
+// assertTreeEqual compares two trees field by field, treating nil and
+// empty Children the same (recycled arena nodes keep empty slices).
+func assertTreeEqual(t *testing.T, want, got *Node) {
+	t.Helper()
+	if want.Kind != got.Kind || want.Name != got.Name || want.Len != got.Len ||
+		want.LockID != got.LockID || want.NoWait != got.NoWait ||
+		want.Pipeline != got.Pipeline || want.Repeat != got.Repeat ||
+		want.Mem != got.Mem {
+		t.Fatalf("node mismatch:\nwant %+v\ngot  %+v", *want, *got)
+	}
+	if (want.Counters == nil) != (got.Counters == nil) {
+		t.Fatalf("Counters presence mismatch")
+	}
+	if want.Counters != nil && *want.Counters != *got.Counters {
+		t.Fatalf("Counters mismatch: want %+v got %+v", *want.Counters, *got.Counters)
+	}
+	if len(want.Burden) != len(got.Burden) {
+		t.Fatalf("Burden size mismatch")
+	}
+	for k, v := range want.Burden {
+		if got.Burden[k] != v {
+			t.Fatalf("Burden[%d] mismatch", k)
+		}
+	}
+	if len(want.Children) != len(got.Children) {
+		t.Fatalf("child count mismatch: want %d got %d", len(want.Children), len(got.Children))
+	}
+	for i := range want.Children {
+		assertTreeEqual(t, want.Children[i], got.Children[i])
+	}
+}
