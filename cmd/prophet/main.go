@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -288,17 +289,17 @@ func main() {
 			*traceOut, traceBuf.Len())
 	}
 	if metrics != nil {
-		out := os.Stdout
-		if *metricsOut != "-" {
-			f, err := os.Create(*metricsOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "metrics export:", err)
-				os.Exit(1)
+		var err error
+		if *metricsOut == "-" {
+			err = prophet.WriteMetricsJSON(os.Stdout, metrics)
+		} else {
+			var f *os.File
+			f, err = os.Create(*metricsOut)
+			if err == nil {
+				err = exportMetricsTo(metrics, f)
 			}
-			defer f.Close()
-			out = f
 		}
-		if err := prophet.WriteMetricsJSON(out, metrics); err != nil {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics export:", err)
 			os.Exit(1)
 		}
@@ -306,4 +307,18 @@ func main() {
 			fmt.Println("metrics written to", *metricsOut)
 		}
 	}
+}
+
+// exportMetricsTo writes the metrics snapshot to w and closes it,
+// propagating the Close error when the write itself succeeded: close is
+// the last chance to hear the kernel reject buffered data (full disk,
+// broken pipe), and the adjacent dot/trace export paths already report
+// it. A dropped close error here used to let the command print "metrics
+// written" and exit 0 with a truncated file on disk.
+func exportMetricsTo(m *prophet.Metrics, w io.WriteCloser) error {
+	err := prophet.WriteMetricsJSON(w, m)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

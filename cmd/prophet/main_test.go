@@ -1,10 +1,78 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"strings"
 	"testing"
 
 	"prophet"
 )
+
+// failingWriteCloser scripts the write/close outcomes of a metrics sink.
+type failingWriteCloser struct {
+	writeErr error
+	closeErr error
+	closed   bool
+}
+
+func (f *failingWriteCloser) Write(p []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	return len(p), nil
+}
+
+func (f *failingWriteCloser) Close() error {
+	f.closed = true
+	return f.closeErr
+}
+
+// TestExportMetricsToReportsCloseError pins the -metrics export failure
+// contract: both write and close errors must surface (the close error
+// used to be dropped by a bare `defer f.Close()`, so a truncated metrics
+// file exited 0), write errors win over close errors, and the sink is
+// closed in every case.
+func TestExportMetricsToReportsCloseError(t *testing.T) {
+	wErr := errors.New("write exploded")
+	cErr := errors.New("close exploded")
+	cases := []struct {
+		name    string
+		sink    failingWriteCloser
+		wantErr error
+	}{
+		{"clean", failingWriteCloser{}, nil},
+		{"close error propagates", failingWriteCloser{closeErr: cErr}, cErr},
+		{"write error wins", failingWriteCloser{writeErr: wErr, closeErr: cErr}, wErr},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := &prophet.Metrics{}
+			m.Counter("test.requests").Inc()
+			err := exportMetricsTo(m, &c.sink)
+			if !errors.Is(err, c.wantErr) {
+				t.Fatalf("exportMetricsTo err = %v, want %v", err, c.wantErr)
+			}
+			if !c.sink.closed {
+				t.Fatal("sink not closed")
+			}
+		})
+	}
+}
+
+// TestExportMetricsToFullDevice exercises the same path against a real
+// kernel-rejected sink where available (/dev/full returns ENOSPC).
+func TestExportMetricsToFullDevice(t *testing.T) {
+	f, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("/dev/full not available:", err)
+	}
+	if err := exportMetricsTo(&prophet.Metrics{}, f); err == nil {
+		t.Fatal("writing metrics to /dev/full reported success")
+	} else if !strings.Contains(err.Error(), "no space") && !errors.Is(err, os.ErrClosed) {
+		t.Logf("got error (accepted): %v", err)
+	}
+}
 
 // The flag values this command accepts are parsed by the public
 // prophet.Parse* family; these tests pin the CLI spellings.

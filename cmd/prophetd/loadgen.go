@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prophet"
+)
+
+// prophetd loadgen hammers a running daemon with a deterministic mix of
+// /v1/predict and /v1/sweep requests and reports status counts, cache
+// behaviour and latency percentiles — enough to see the backpressure
+// (429s under a small -max-inflight) and the cache warming up (second
+// run of the same seed is nearly all hits).
+//
+//	prophetd loadgen -addr http://127.0.0.1:8057 -n 200 -c 8 \
+//	    -bench MD-OMP,NPB-EP -sweep-frac 0.25 -seed 1
+func loadgenMain(args []string) int {
+	fs := flag.NewFlagSet("prophetd loadgen", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:8057", "base URL of the daemon")
+		n         = fs.Int("n", 200, "total requests to issue")
+		c         = fs.Int("c", 8, "concurrent clients")
+		bench     = fs.String("bench", "MD-OMP", "comma-separated workloads to exercise")
+		sweepFrac = fs.Float64("sweep-frac", 0.25, "fraction of requests that are sweeps (rest are predicts)")
+		coresFlag = fs.String("cores", "2,4,6,8,10,12", "core counts drawn from")
+		seed      = fs.Int64("seed", 1, "request-mix seed (same seed = same request stream)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cores, err := prophet.ParseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var names []string
+	for _, b := range strings.Split(*bench, ",") {
+		names = append(names, strings.TrimSpace(b))
+	}
+	methods := []string{"ff", "amdahl", "critical-path", "suitability"}
+	scheds := []string{"(static)", "(static,1)", "(dynamic,1)", "(guided)"}
+
+	// Pre-generate the request stream so the worker split cannot change
+	// the mix: same seed, same bodies, whatever -c is.
+	type shot struct {
+		path string
+		body []byte
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	shots := make([]shot, *n)
+	for i := range shots {
+		name := names[rng.Intn(len(names))]
+		if rng.Float64() < *sweepFrac {
+			body, _ := json.Marshal(map[string]any{
+				"workload": name,
+				"methods":  []string{methods[rng.Intn(2)]}, // ff | amdahl: cheap enough to hammer
+				"scheds":   []string{scheds[rng.Intn(len(scheds))]},
+				"cores":    cores,
+			})
+			shots[i] = shot{path: "/v1/sweep", body: body}
+		} else {
+			body, _ := json.Marshal(map[string]any{
+				"workload": name,
+				"request": map[string]any{
+					"method":       methods[rng.Intn(len(methods))],
+					"threads":      cores[rng.Intn(len(cores))],
+					"sched":        scheds[rng.Intn(len(scheds))],
+					"memory_model": rng.Intn(2) == 0,
+				},
+			})
+			shots[i] = shot{path: "/v1/predict", body: body}
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		statuses  = map[int]int{}
+		failures  int
+	)
+	var wg sync.WaitGroup
+	next := make(chan shot)
+	workers := *c
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range next {
+				t0 := time.Now()
+				resp, err := client.Post(*addr+sh.path, "application/json", bytes.NewReader(sh.body))
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					failures++
+				} else {
+					statuses[resp.StatusCode]++
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for _, sh := range shots {
+		next <- sh
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("loadgen: %d requests in %v (%.0f req/s), %d clients\n",
+		*n, wall.Round(time.Millisecond), float64(*n)/wall.Seconds(), workers)
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Printf("  HTTP %d: %d\n", code, statuses[code])
+	}
+	if failures > 0 {
+		fmt.Printf("  transport failures: %d\n", failures)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

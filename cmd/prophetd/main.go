@@ -1,0 +1,154 @@
+// Command prophetd is the prediction service daemon: it loads the
+// registered workload profiles once (profiling + memory-model
+// calibration) and serves speedup predictions over HTTP — the paper's
+// per-run tool (cmd/prophet) turned into a long-lived service, so the
+// profiles, the calibrated model and the estimate cache survive across
+// requests.
+//
+// Usage:
+//
+//	prophetd [-addr :8057] [-bench all | MD-OMP,NPB-FT] [-cores 2,4,6,8,10,12]
+//	         [-workers N] [-max-inflight M] [-cache 4096] [-no-mem]
+//	         [-request-timeout 30s] [-drain 15s]
+//	prophetd loadgen [-addr http://127.0.0.1:8057] ...   (see loadgen.go)
+//
+// Endpoints:
+//
+//	POST /v1/predict   one prophet.Request against a workload
+//	POST /v1/sweep     a cores × paradigm × sched grid (Fig. 11/12 shape)
+//	GET  /v1/workloads registered workloads
+//	GET  /healthz      liveness       GET /readyz  profiles loaded
+//	GET  /metrics      JSON snapshot of the obs registry
+//
+// Overload returns 429 with Retry-After; SIGINT/SIGTERM drain in-flight
+// predictions for up to -drain before exiting.
+//
+// Exit codes: 0 clean shutdown; 1 load/serve failure; 2 usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"prophet"
+	"prophet/internal/server"
+	"prophet/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("prophetd: ")
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		os.Exit(loadgenMain(os.Args[2:]))
+	}
+	os.Exit(serveMain(os.Args[1:]))
+}
+
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("prophetd", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8057", "listen address")
+		bench       = fs.String("bench", "all", `comma-separated workloads to register ("all" = every benchmark)`)
+		coresFlag   = fs.String("cores", "", "comma-separated thread counts to calibrate for (default 2,4,6,8,10,12)")
+		workers     = fs.Int("workers", 0, "emulation worker pool size (0 = GOMAXPROCS)")
+		maxInflight = fs.Int("max-inflight", 0, "admitted-request limit before 429 (0 = 4×GOMAXPROCS)")
+		cacheSize   = fs.Int("cache", 4096, "estimate LRU capacity (negative disables)")
+		noMem       = fs.Bool("no-mem", false, "skip memory-model calibration (every estimate behaves as memory_model:false)")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request deadline cap (negative = none)")
+		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		batchWindow = fs.Duration("batch-window", 500*time.Microsecond, "linger to coalesce concurrent cells into one batch")
+		maxBatch    = fs.Int("max-batch", 64, "max cells per coalesced batch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := server.Config{
+		Workers:            *workers,
+		MaxInFlight:        *maxInflight,
+		CacheSize:          *cacheSize,
+		DisableMemoryModel: *noMem,
+		RequestTimeout:     *reqTimeout,
+		BatchWindow:        *batchWindow,
+		MaxBatch:           *maxBatch,
+	}
+	if *bench != "all" && *bench != "" {
+		for _, b := range strings.Split(*bench, ",") {
+			name := strings.TrimSpace(b)
+			if _, err := workloads.ByName(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			cfg.Workloads = append(cfg.Workloads, name)
+		}
+	}
+	if *coresFlag != "" {
+		cores, err := prophet.ParseCores(*coresFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cfg.Cores = cores
+	}
+
+	srv := server.New(cfg)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	loadCtx, cancelLoad := context.WithCancel(context.Background())
+	var sigDuringLoad atomic.Bool
+	go func() {
+		// A signal during the load aborts it through the library's
+		// cancellation paths instead of waiting out the calibration.
+		select {
+		case <-stop:
+			sigDuringLoad.Store(true)
+			cancelLoad()
+		case <-loadCtx.Done():
+		}
+	}()
+
+	start := time.Now()
+	log.Printf("loading workload profiles...")
+	if err := srv.Load(loadCtx); err != nil {
+		if sigDuringLoad.Load() {
+			log.Printf("interrupted during load; exiting")
+			return 0
+		}
+		log.Printf("load: %v", err)
+		return 1
+	}
+	cancelLoad()
+	log.Printf("ready in %v; serving on %s", time.Since(start).Round(time.Millisecond), *addr)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+
+	// The load-phase watcher has exited; signals now land here.
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Printf("serve: %v", err)
+			return 1
+		}
+		return 0
+	case sig := <-stop:
+		log.Printf("%v: draining in-flight predictions (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v (in-flight work aborted)", err)
+			return 1
+		}
+		log.Printf("drained cleanly")
+		return 0
+	}
+}

@@ -33,4 +33,34 @@ const (
 	// MCacheDedups counts hits that arrived while the compute was still
 	// in flight and were deduplicated onto it.
 	MCacheDedups = "cache.dedups"
+
+	// Prediction-service (internal/server) request counters.
+	MServerPredicts = "server.predict.requests"
+	MServerSweeps   = "server.sweep.requests"
+	// MServerRejected counts requests refused with 429 by the admission
+	// layer (overload backpressure).
+	MServerRejected = "server.rejected_overload"
+	// MServerBadRequests counts requests refused with a 4xx other than
+	// 429 (malformed JSON, unknown workload, invalid grid).
+	MServerBadRequests = "server.bad_requests"
+
+	// Per-endpoint request latency (nanosecond duration histograms,
+	// admission to response).
+	MServerPredictLatency = "server.predict.latency_ns"
+	MServerSweepLatency   = "server.sweep.latency_ns"
+
+	// Estimate-cache traffic (the server's sharded LRU over completed
+	// estimates, in front of the singleflight calibration cache).
+	MServerCacheHits      = "server.cache.hits"
+	MServerCacheMisses    = "server.cache.misses"
+	MServerCacheEvictions = "server.cache.evictions"
+	// MServerFlightDedups counts cells that found an identical cell in
+	// flight and waited for its result instead of recomputing.
+	MServerFlightDedups = "server.flight.dedups"
+
+	// Batching admission layer: RunCtx batches dispatched, cells carried,
+	// and the per-batch cell-count distribution (coalescing quality).
+	MServerBatches    = "server.batch.batches"
+	MServerBatchCells = "server.batch.cells"
+	MServerBatchSize  = "server.batch.size"
 )

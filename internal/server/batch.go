@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prophet"
+	"prophet/internal/obs"
+	"prophet/internal/sweep"
+)
+
+// The batching admission layer. Handlers never run emulations on their
+// own goroutines: every uncached prediction — a single /v1/predict or
+// one cell of a /v1/sweep grid — becomes a cellJob submitted to the
+// server's one batcher. The dispatcher coalesces jobs that arrive close
+// together (across requests) into one sweep.RunCtx call on a bounded
+// worker pool and runs batches strictly one at a time, so the pool size
+// — not the request count — bounds the emulation concurrency, and jobs
+// arriving while a batch runs pile up into the next batch instead of
+// spawning goroutines. Identical concurrent cells are deduplicated in
+// front of the batcher by flightGroup, so a cell is emulated once no
+// matter how many requests need it.
+
+// cellResult is the outcome of one cell job.
+type cellResult struct {
+	est prophet.Estimate
+	err error
+}
+
+// cellJob is one prediction unit flowing through the batcher.
+type cellJob struct {
+	// ctx is the originating request's context: the cell observes its
+	// deadline/cancellation through it (the PR 2 cancellation paths).
+	ctx context.Context
+	// run computes the estimate (typically Profile.EstimateCtx).
+	run func(ctx context.Context) (prophet.Estimate, error)
+	// res receives the result exactly once (buffered, capacity 1).
+	res chan cellResult
+
+	delivered atomic.Bool
+}
+
+// deliver sends r unless a result was already delivered (the normal path
+// delivers from inside the batch; the post-batch scan covers cells that
+// panicked or were skipped by a canceled batch).
+func (j *cellJob) deliver(r cellResult) {
+	if j.delivered.CompareAndSwap(false, true) {
+		j.res <- r
+	}
+}
+
+// batcher coalesces concurrent cell jobs into sweep.RunCtx batches.
+type batcher struct {
+	ch   chan *cellJob
+	stop chan struct{}
+	done chan struct{}
+
+	// baseCtx gates every batch: it is the server's lifetime context, so
+	// killing the server (after the drain) aborts in-flight batches.
+	baseCtx context.Context
+	engine  sweep.Engine
+	window  time.Duration
+	maxSize int
+
+	batches   *obs.Counter
+	cells     *obs.Counter
+	batchSize *obs.Histogram
+}
+
+func newBatcher(baseCtx context.Context, engine sweep.Engine, window time.Duration, maxSize int, reg *obs.Registry) *batcher {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	b := &batcher{
+		ch:        make(chan *cellJob, 2*maxSize),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		baseCtx:   baseCtx,
+		engine:    engine,
+		window:    window,
+		maxSize:   maxSize,
+		batches:   reg.Counter(obs.MServerBatches),
+		cells:     reg.Counter(obs.MServerBatchCells),
+		batchSize: reg.Histogram(obs.MServerBatchSize),
+	}
+	go b.dispatch()
+	return b
+}
+
+// submit enqueues j, failing over to the job's own context so a caller
+// whose deadline fires while the queue is full is not stuck.
+func (b *batcher) submit(j *cellJob) {
+	select {
+	case b.ch <- j:
+	case <-j.ctx.Done():
+		j.deliver(cellResult{est: prophet.Estimate{Err: j.ctx.Err()}, err: j.ctx.Err()})
+	case <-b.stop:
+		j.deliver(cellResult{est: prophet.Estimate{Err: context.Canceled}, err: context.Canceled})
+	}
+}
+
+// dispatch is the single dispatcher goroutine: collect a batch, run it,
+// repeat. Running batches sequentially is what makes the worker pool a
+// real global bound — jobs arriving mid-batch coalesce into the next one.
+func (b *batcher) dispatch() {
+	defer close(b.done)
+	for {
+		var first *cellJob
+		select {
+		case first = <-b.ch:
+		case <-b.stop:
+			b.drainQueue()
+			return
+		}
+		batch := []*cellJob{first}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxSize {
+			select {
+			case j := <-b.ch:
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.runBatch(batch)
+	}
+}
+
+// runBatch executes one coalesced batch through sweep.RunCtx on the
+// bounded pool. Each cell honours its own request context; the batch as
+// a whole is gated by the server's lifetime context.
+func (b *batcher) runBatch(batch []*cellJob) {
+	b.batches.Inc()
+	b.cells.Add(int64(len(batch)))
+	b.batchSize.Observe(int64(len(batch)))
+	out := sweep.RunCtx(b.baseCtx, b.engine, len(batch), func(_ context.Context, i int) (prophet.Estimate, error) {
+		j := batch[i]
+		if err := j.ctx.Err(); err != nil {
+			// The request died in the queue; don't burn pool time on it.
+			return prophet.Estimate{Err: err}, err
+		}
+		est, err := j.run(j.ctx)
+		j.deliver(cellResult{est: est, err: err})
+		return est, err
+	})
+	// Cells that never reached deliver — a panic contained by RunCtx, or
+	// cells skipped because the server's context fired — resolve here, so
+	// no waiter is ever left hanging.
+	for i, o := range out {
+		est := o.Value
+		if o.Err != nil && est.Err == nil {
+			est.Err = o.Err
+		}
+		batch[i].deliver(cellResult{est: est, err: o.Err})
+	}
+}
+
+// drainQueue resolves jobs still queued at shutdown with a cancellation.
+func (b *batcher) drainQueue() {
+	for {
+		select {
+		case j := <-b.ch:
+			j.deliver(cellResult{est: prophet.Estimate{Err: context.Canceled}, err: context.Canceled})
+		default:
+			return
+		}
+	}
+}
+
+// close stops the dispatcher and waits for the in-flight batch to finish.
+func (b *batcher) close() {
+	close(b.stop)
+	<-b.done
+}
+
+// flightGroup deduplicates identical concurrent cells: the first caller
+// of a key becomes the leader and submits the cell to the batcher; later
+// callers wait for the leader's result. Entries are removed as soon as
+// the flight completes — completed values live in the LRU, not here — so
+// a canceled leader can never poison later requests (the same contract
+// the sweep singleflight cache keeps for calibration).
+type flightGroup struct {
+	mu     sync.Mutex
+	m      map[string]*flight
+	dedups *obs.Counter
+}
+
+type flight struct {
+	done chan struct{}
+	res  cellResult
+}
+
+func newFlightGroup(reg *obs.Registry) *flightGroup {
+	return &flightGroup{m: make(map[string]*flight), dedups: reg.Counter(obs.MServerFlightDedups)}
+}
+
+// do returns the result for key, computing it via lead exactly once per
+// flight. lead is called with a completion callback the leader must
+// invoke exactly once. A waiter whose ctx fires returns the cancellation
+// without disturbing the flight.
+func (g *flightGroup) do(ctx context.Context, key string, lead func(finish func(cellResult))) (cellResult, error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.dedups.Inc()
+		select {
+		case <-f.done:
+			return f.res, nil
+		case <-ctx.Done():
+			return cellResult{}, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+	lead(func(r cellResult) {
+		f.res = r
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	})
+	select {
+	case <-f.done:
+		return f.res, nil
+	case <-ctx.Done():
+		// The leader abandons the wait but the flight still completes
+		// (the batcher delivers exactly once); waiters parked on f.done
+		// get the result.
+		return cellResult{}, ctx.Err()
+	}
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prophet"
+	"prophet/internal/obs"
+	"prophet/internal/sweep"
+)
+
+func newTestBatcher(t *testing.T, engine sweep.Engine, window time.Duration, maxSize int) (*batcher, *obs.Registry) {
+	t.Helper()
+	reg := &obs.Registry{}
+	b := newBatcher(context.Background(), engine, window, maxSize, reg)
+	t.Cleanup(b.close)
+	return b, reg
+}
+
+func newJob(ctx context.Context, run func(context.Context) (prophet.Estimate, error)) *cellJob {
+	return &cellJob{ctx: ctx, run: run, res: make(chan cellResult, 1)}
+}
+
+// TestBatcherCoalesces checks that jobs submitted together run as one
+// sweep.RunCtx batch, not one batch per job. maxSize equals the job
+// count so the collect loop fills deterministically without waiting out
+// the window.
+func TestBatcherCoalesces(t *testing.T) {
+	const n = 10
+	b, reg := newTestBatcher(t, sweep.Engine{Workers: 4}, time.Second, n)
+
+	jobs := make([]*cellJob, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = newJob(context.Background(), func(context.Context) (prophet.Estimate, error) {
+			return est(float64(i)), nil
+		})
+	}
+	// The channel holds 2*maxSize, so sequential submits cannot block; the
+	// dispatcher takes the first job and collects the rest inside maxSize.
+	for _, j := range jobs {
+		b.submit(j)
+	}
+	for i, j := range jobs {
+		r := <-j.res
+		if r.err != nil || r.est.Speedup != float64(i) {
+			t.Errorf("job %d: %+v, %v", i, r.est, r.err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MServerBatchCells]; got != n {
+		t.Errorf("batch cells = %d, want %d", got, n)
+	}
+	if got := snap.Counters[obs.MServerBatches]; got < 1 || got > 2 {
+		t.Errorf("batches = %d, want 1 (2 tolerated for a slow dispatcher wakeup)", got)
+	}
+}
+
+// TestBatcherPanicIsolated: a panicking cell must not take down the
+// dispatcher or its batchmates — it resolves via the post-batch scan with
+// the contained panic error, the others with their values.
+func TestBatcherPanicIsolated(t *testing.T) {
+	b, _ := newTestBatcher(t, sweep.Engine{Workers: 2}, 100*time.Millisecond, 2)
+
+	bad := newJob(context.Background(), func(context.Context) (prophet.Estimate, error) {
+		panic("cell exploded")
+	})
+	good := newJob(context.Background(), func(context.Context) (prophet.Estimate, error) {
+		return est(2), nil
+	})
+	b.submit(bad)
+	b.submit(good)
+
+	r := <-bad.res
+	if r.err == nil {
+		t.Error("panicking cell resolved without error")
+	}
+	var pe *sweep.PanicError
+	if !errors.As(r.err, &pe) {
+		t.Errorf("panicking cell err = %v, want a *sweep.PanicError", r.err)
+	}
+	if r2 := <-good.res; r2.err != nil || r2.est.Speedup != 2 {
+		t.Errorf("batchmate of panicking cell: %+v, %v", r2.est, r2.err)
+	}
+
+	// The dispatcher must still be alive for the next batch.
+	after := newJob(context.Background(), func(context.Context) (prophet.Estimate, error) {
+		return est(7), nil
+	})
+	b.submit(after)
+	if r3 := <-after.res; r3.err != nil || r3.est.Speedup != 7 {
+		t.Errorf("post-panic job: %+v, %v", r3.est, r3.err)
+	}
+}
+
+// TestBatcherExpiredJobSkipped: a job whose request context is already
+// dead resolves with the cancellation without burning pool time.
+func TestBatcherExpiredJobSkipped(t *testing.T) {
+	b, _ := newTestBatcher(t, sweep.Engine{Workers: 2}, time.Millisecond, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	j := newJob(ctx, func(context.Context) (prophet.Estimate, error) {
+		ran.Store(true)
+		return est(1), nil
+	})
+	b.submit(j)
+	r := <-j.res
+	if !errors.Is(r.err, context.Canceled) {
+		t.Errorf("expired job err = %v, want context.Canceled", r.err)
+	}
+	if ran.Load() {
+		t.Error("expired job's run executed")
+	}
+}
+
+// TestBatcherShutdownResolvesQueued: jobs queued when the batcher closes
+// are resolved with a cancellation, never abandoned.
+func TestBatcherShutdownResolvesQueued(t *testing.T) {
+	reg := &obs.Registry{}
+	// A window long enough that the queued jobs are still collecting when
+	// close fires.
+	b := newBatcher(context.Background(), sweep.Engine{Workers: 1}, time.Minute, 64, reg)
+	jobs := make([]*cellJob, 4)
+	for i := range jobs {
+		jobs[i] = newJob(context.Background(), func(context.Context) (prophet.Estimate, error) {
+			return est(1), nil
+		})
+		b.submit(jobs[i])
+	}
+	b.close()
+	for i, j := range jobs {
+		select {
+		case r := <-j.res:
+			// Either computed (it made the final batch) or canceled — but
+			// always resolved.
+			if r.err != nil && !errors.Is(r.err, context.Canceled) {
+				t.Errorf("job %d: unexpected err %v", i, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("job %d never resolved after close", i)
+		}
+	}
+}
+
+// TestFlightGroupDedup: concurrent callers of one key produce exactly one
+// leader; waiters get the leader's result.
+func TestFlightGroupDedup(t *testing.T) {
+	reg := &obs.Registry{}
+	g := newFlightGroup(reg)
+
+	var leads atomic.Int64
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	lead := func(finish func(cellResult)) {
+		leads.Add(1)
+		go func() {
+			close(started)
+			<-unblock
+			finish(cellResult{est: est(42)})
+		}()
+	}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]cellResult, waiters)
+	errsOut := make([]error, waiters)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errsOut[0] = g.do(context.Background(), "k", lead)
+	}()
+	<-started // the leader exists; everyone else dedups onto its flight
+	for i := 1; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errsOut[i] = g.do(context.Background(), "k", func(func(cellResult)) {
+				t.Error("second leader elected for an in-flight key")
+			})
+		}()
+	}
+	// Let the waiters park on the flight before releasing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counters[obs.MServerFlightDedups] < waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(unblock)
+	wg.Wait()
+
+	if n := leads.Load(); n != 1 {
+		t.Fatalf("lead ran %d times, want 1", n)
+	}
+	for i := range results {
+		if errsOut[i] != nil || results[i].est.Speedup != 42 {
+			t.Errorf("caller %d: %+v, %v", i, results[i].est, errsOut[i])
+		}
+	}
+	if n := reg.Snapshot().Counters[obs.MServerFlightDedups]; n != waiters-1 {
+		t.Errorf("dedups = %d, want %d", n, waiters-1)
+	}
+}
+
+// TestFlightGroupLeaderCancelDoesNotPoison is the server-side twin of the
+// sweep.Cache leader-cancellation audit: a leader whose request dies
+// abandons the wait, but the flight still completes and is removed, so
+// later callers compute fresh instead of inheriting the cancellation.
+func TestFlightGroupLeaderCancelDoesNotPoison(t *testing.T) {
+	g := newFlightGroup(&obs.Registry{})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	finishCh := make(chan func(cellResult), 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := g.do(leaderCtx, "k", func(finish func(cellResult)) {
+			finishCh <- finish
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled leader err = %v, want context.Canceled", err)
+		}
+	}()
+	finish := <-finishCh
+	cancelLeader()
+	<-done
+
+	// The flight is still open (finish not called); a waiter with a live
+	// context gets the real result once the compute lands.
+	waiterRes := make(chan cellResult, 1)
+	go func() {
+		r, err := g.do(context.Background(), "k", func(func(cellResult)) {
+			t.Error("waiter became leader while the flight was open")
+		})
+		if err != nil {
+			t.Errorf("waiter err: %v", err)
+		}
+		waiterRes <- r
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park on the flight
+	finish(cellResult{est: est(7)})
+	if r := <-waiterRes; r.est.Speedup != 7 {
+		t.Errorf("waiter got %+v, want the completed estimate", r.est)
+	}
+
+	// The completed flight is gone: the next caller is a fresh leader.
+	var ledAgain atomic.Bool
+	r, err := g.do(context.Background(), "k", func(finish func(cellResult)) {
+		ledAgain.Store(true)
+		finish(cellResult{est: est(9)})
+	})
+	if err != nil || !ledAgain.Load() || r.est.Speedup != 9 {
+		t.Errorf("fresh leader: led=%v r=%+v err=%v", ledAgain.Load(), r.est, err)
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"prophet"
+	"prophet/internal/obs"
+)
+
+func est(speedup float64) prophet.Estimate {
+	return prophet.Estimate{Speedup: speedup}
+}
+
+func TestEstimateCacheEvictsLRU(t *testing.T) {
+	reg := &obs.Registry{}
+	c := newEstimateCache(3, 1, reg) // one shard so the LRU order is total
+
+	c.Put("a", est(1))
+	c.Put("b", est(2))
+	c.Put("c", est(3))
+	if _, ok := c.Get("a"); !ok { // promote a: LRU order is now b, c, a
+		t.Fatal("a missing")
+	}
+	c.Put("d", est(4)) // evicts b, the least recently used
+
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction, want it dropped as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+	if n := reg.Snapshot().Counters[obs.MServerCacheEvictions]; n != 1 {
+		t.Errorf("evictions = %d, want 1", n)
+	}
+}
+
+func TestEstimateCacheUpdateExisting(t *testing.T) {
+	c := newEstimateCache(2, 1, &obs.Registry{})
+	c.Put("k", est(1))
+	c.Put("k", est(9))
+	got, ok := c.Get("k")
+	if !ok || got.Speedup != 9 {
+		t.Fatalf("Get(k) = %+v, %v, want speedup 9", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (update must not duplicate)", c.Len())
+	}
+}
+
+func TestEstimateCacheDisabled(t *testing.T) {
+	c := newEstimateCache(-1, 4, &obs.Registry{})
+	c.Put("k", est(1))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestEstimateCacheShardsIndependent(t *testing.T) {
+	reg := &obs.Registry{}
+	c := newEstimateCache(64, 8, reg)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c.Put(k, est(float64(i)))
+	}
+	hits := 0
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if got, ok := c.Get(k); ok {
+			hits++
+			if got.Speedup != float64(i) {
+				t.Errorf("Get(%s) = %v, want %d", k, got.Speedup, i)
+			}
+		}
+	}
+	// Shard capacity is ceil(64/8) = 8 per shard; uneven hashing may evict
+	// a few, but the vast majority must survive and none may be corrupted.
+	if hits < 48 {
+		t.Errorf("only %d/64 keys survived across shards", hits)
+	}
+	if c.Len() != hits {
+		t.Errorf("Len = %d, want %d", c.Len(), hits)
+	}
+}

@@ -1,0 +1,594 @@
+// Package server is the prediction service behind cmd/prophetd: a
+// long-lived HTTP JSON API that loads registered workload profiles once
+// and serves speedup predictions over them — the paper's tool turned
+// into a daemon, so the profiles, the calibrated memory model and the
+// caches built in earlier PRs outlive a single invocation.
+//
+// Request admission is layered:
+//
+//  1. An in-flight limit refuses excess concurrent requests with
+//     429 + Retry-After (backpressure, not queue collapse).
+//  2. A sharded LRU over completed estimates, keyed on
+//     (workload, compressed-tree hash, request), answers repeats
+//     without touching the pool.
+//  3. A singleflight group deduplicates identical concurrent cells.
+//  4. A batcher coalesces the remaining cells — across requests — into
+//     sweep.RunCtx batches on one bounded worker pool.
+//
+// Endpoints: POST /v1/predict, POST /v1/sweep, GET /v1/workloads,
+// GET /healthz, GET /readyz, GET /metrics.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prophet"
+	"prophet/internal/obs"
+	"prophet/internal/sweep"
+	"prophet/internal/workloads"
+)
+
+// Config tunes the service. The zero value serves every registered
+// benchmark with library defaults.
+type Config struct {
+	// Workloads names the benchmarks to register (nil = all of
+	// workloads.Names()).
+	Workloads []string
+	// Cores are the thread counts profiles calibrate burden factors for
+	// (nil = prophet.DefaultThreadCounts()). Also the default sweep axis.
+	Cores []int
+	// DisableMemoryModel skips calibration (and burden factors) — every
+	// estimate behaves as MemoryModel: false. Meant for tests.
+	DisableMemoryModel bool
+
+	// Workers bounds the emulation worker pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxInFlight is the admitted-request limit; excess requests get
+	// 429 + Retry-After. 0 selects 4×GOMAXPROCS.
+	MaxInFlight int
+	// RetryAfter is the advisory Retry-After on 429 (default 1s).
+	RetryAfter time.Duration
+
+	// CacheSize is the total estimate-LRU capacity (0 = 4096; negative
+	// disables caching). CacheShards is the shard count (0 = 16).
+	CacheSize   int
+	CacheShards int
+
+	// BatchWindow is how long the dispatcher lingers to coalesce
+	// concurrent cells into one batch (0 = 500µs). MaxBatch caps cells
+	// per batch (0 = 64).
+	BatchWindow time.Duration
+	MaxBatch    int
+
+	// RequestTimeout caps the per-request deadline (0 = 30s; negative
+	// means no server-imposed deadline). A request's timeout_ms can only
+	// shorten it.
+	RequestTimeout time.Duration
+
+	// Metrics receives server and pipeline metrics (nil = a fresh
+	// registry, exposed at /metrics either way).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Workloads) == 0 {
+		c.Workloads = workloads.Names()
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = prophet.DefaultThreadCounts()
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = &obs.Registry{}
+	}
+	return c
+}
+
+// workloadEntry is one registered workload: its profile, loaded once.
+type workloadEntry struct {
+	name         string
+	desc         string
+	prof         *prophet.Profile
+	treeHash     string
+	paradigm     prophet.Paradigm
+	sched        prophet.Sched
+	threadCounts []int
+}
+
+// Server is the prediction service. Create with New, load profiles with
+// Load, mount Handler on an http.Server (or use ListenAndServe), and
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *obs.Registry
+	mux     *http.ServeMux
+
+	entries map[string]*workloadEntry
+
+	readyMu sync.RWMutex
+	ready   bool
+	closing bool
+
+	inflight chan struct{} // admission semaphore
+	cache    *estimateCache
+	flights  *flightGroup
+	batch    *batcher
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	reqWG      sync.WaitGroup // admitted requests, for the drain
+	stopOnce   sync.Once      // makes Shutdown idempotent
+
+	httpSrv *http.Server
+
+	predicts, sweeps, rejected, badReqs *obs.Counter
+	predictLat, sweepLat                *obs.Histogram
+
+	// testHook, when set, runs after admission and before the estimate
+	// (tests use it to hold requests in flight deterministically).
+	testHook atomic.Pointer[func()]
+}
+
+// New builds a server; call Load before serving traffic (endpoints
+// answer 503 until it completes).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	reg := cfg.Metrics
+	s := &Server{
+		cfg:        cfg,
+		metrics:    reg,
+		entries:    make(map[string]*workloadEntry),
+		inflight:   make(chan struct{}, cfg.MaxInFlight),
+		cache:      newEstimateCache(cfg.CacheSize, cfg.CacheShards, reg),
+		flights:    newFlightGroup(reg),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		predicts:   reg.Counter(obs.MServerPredicts),
+		sweeps:     reg.Counter(obs.MServerSweeps),
+		rejected:   reg.Counter(obs.MServerRejected),
+		badReqs:    reg.Counter(obs.MServerBadRequests),
+		predictLat: reg.Histogram(obs.MServerPredictLatency),
+		sweepLat:   reg.Histogram(obs.MServerSweepLatency),
+	}
+	s.batch = newBatcher(baseCtx, sweep.Engine{Workers: cfg.Workers, Metrics: reg}, cfg.BatchWindow, cfg.MaxBatch, reg)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	return s
+}
+
+// Load profiles every configured workload (serially — profiles share one
+// calibration through the library's singleflight cache) and flips the
+// server ready. It is the expensive startup step the daemon pays once.
+func (s *Server) Load(ctx context.Context) error {
+	for _, name := range s.cfg.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		prof, err := prophet.ProfileProgramCtx(ctx, w.Program, &prophet.Options{
+			ThreadCounts:       s.cfg.Cores,
+			DisableMemoryModel: s.cfg.DisableMemoryModel,
+			Observer:           prophet.Observer{Metrics: s.metrics},
+		})
+		if err != nil {
+			return fmt.Errorf("server: load %s: %w", name, err)
+		}
+		treeJSON, err := json.Marshal(prof.Tree)
+		if err != nil {
+			return fmt.Errorf("server: hash %s tree: %w", name, err)
+		}
+		sum := sha256.Sum256(treeJSON)
+		s.entries[name] = &workloadEntry{
+			name:         name,
+			desc:         w.Desc,
+			prof:         prof,
+			treeHash:     hex.EncodeToString(sum[:8]),
+			paradigm:     w.Paradigm,
+			sched:        w.Sched,
+			threadCounts: s.cfg.Cores,
+		}
+	}
+	s.readyMu.Lock()
+	s.ready = true
+	s.readyMu.Unlock()
+	return nil
+}
+
+// Handler returns the HTTP handler (for tests and custom servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.httpSrv = &http.Server{Addr: addr, Handler: s.mux}
+	err := s.httpSrv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: stop admitting, wait (up to ctx) for
+// in-flight predictions to finish, then stop the batcher and cancel
+// whatever remains. It returns ctx.Err() if the drain deadline fired.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.readyMu.Lock()
+	s.closing = true
+	s.readyMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Cancel stragglers (no-op after a clean drain) and stop the
+	// dispatcher; the in-flight batch finishes or aborts via baseCtx.
+	s.stopOnce.Do(func() {
+		s.baseCancel()
+		s.batch.close()
+	})
+	if s.httpSrv != nil {
+		if herr := s.httpSrv.Shutdown(ctx); err == nil && !errors.Is(herr, context.DeadlineExceeded) && !errors.Is(herr, context.Canceled) {
+			err = herr
+		}
+	}
+	return err
+}
+
+// admit implements the backpressure gate. It returns false after
+// writing the 429/503 when the request cannot be served now.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	s.readyMu.RLock()
+	ready, closing := s.ready, s.closing
+	s.readyMu.RUnlock()
+	if closing {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return nil, false
+	}
+	if !ready {
+		writeError(w, http.StatusServiceUnavailable, "server is still loading workload profiles")
+		return nil, false
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		// Full house: refuse now instead of queueing without bound.
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+		return nil, false
+	}
+	s.reqWG.Add(1)
+	return func() {
+		<-s.inflight
+		s.reqWG.Done()
+	}, true
+}
+
+// requestCtx derives the per-request context: the client disconnect
+// (r.Context()), the server-configured deadline cap, and the request's
+// own timeout_ms, whichever is tightest.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	limit := s.cfg.RequestTimeout
+	if limit < 0 {
+		limit = 0
+	}
+	if timeoutMS > 0 {
+		t := time.Duration(timeoutMS) * time.Millisecond
+		if limit == 0 || t < limit {
+			limit = t
+		}
+	}
+	if limit > 0 {
+		return context.WithTimeout(ctx, limit)
+	}
+	return context.WithCancel(ctx)
+}
+
+// estimate computes one cell through the cache → singleflight → batcher
+// stack. cached reports whether the LRU answered.
+func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet.Request) (est prophet.Estimate, cached bool, err error) {
+	// Normalize Threads the way the library does, so "threads":0 and an
+	// explicit machine core count share a cache line.
+	if req.Threads == 0 {
+		req.Threads = prophet.DefaultMachine().Normalized().Cores
+	}
+	key := cellKey(entry, req)
+	if est, ok := s.cache.Get(key); ok {
+		return est, true, nil
+	}
+	res, err := s.flights.do(ctx, key, func(finish func(cellResult)) {
+		j := &cellJob{
+			ctx: ctx,
+			run: func(ctx context.Context) (prophet.Estimate, error) {
+				return entry.prof.EstimateCtx(ctx, req)
+			},
+			res: make(chan cellResult, 1),
+		}
+		go func() {
+			s.batch.submit(j)
+			r := <-j.res
+			if r.err == nil && r.est.Err == nil {
+				s.cache.Put(key, r.est)
+			}
+			finish(r)
+		}()
+	})
+	if err != nil {
+		return prophet.Estimate{Request: req, Err: err}, false, err
+	}
+	return res.est, false, res.err
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var pr predictRequest
+	if !s.decodeBody(w, r, &pr) {
+		return
+	}
+	entry, ok := s.lookup(w, pr.Workload)
+	if !ok {
+		return
+	}
+	if err := validateRequest(pr.Request); err != nil {
+		s.clientError(w, err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	s.predicts.Inc()
+	defer func(start time.Time) { s.predictLat.ObserveDuration(time.Since(start)) }(time.Now())
+
+	ctx, cancel := s.requestCtx(r, pr.TimeoutMS)
+	defer cancel()
+	if hook := s.testHook.Load(); hook != nil {
+		(*hook)()
+	}
+	est, _, err := s.estimate(ctx, entry, pr.Request)
+	if isCancellation(err) {
+		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("prediction canceled: %v", err))
+		return
+	}
+	// Failed predictions (deadlock, budget, malformed tree) are valid
+	// results in the wire format: the estimate carries its err field,
+	// exactly as the CLIs and sweep outcomes report it.
+	writeJSON(w, http.StatusOK, est)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var sr sweepRequest
+	if !s.decodeBody(w, r, &sr) {
+		return
+	}
+	entry, ok := s.lookup(w, sr.Workload)
+	if !ok {
+		return
+	}
+	grid, err := expandGrid(sr, entry)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	s.sweeps.Inc()
+	defer func(start time.Time) { s.sweepLat.ObserveDuration(time.Since(start)) }(time.Now())
+
+	ctx, cancel := s.requestCtx(r, sr.TimeoutMS)
+	defer cancel()
+	if hook := s.testHook.Load(); hook != nil {
+		(*hook)()
+	}
+
+	// Fan the grid's cells through the shared estimate stack. Cached
+	// cells answer inline; the rest coalesce in the batcher with every
+	// other in-flight request's cells. Per-cell failures stay per-cell
+	// (Outcome.Err), like a library sweep without FailFast.
+	resp := sweepResponse{
+		Workload: entry.name,
+		Cells:    len(grid),
+		Outcomes: make([]sweep.Outcome[prophet.Estimate], len(grid)),
+	}
+	var wg sync.WaitGroup
+	var cachedCount int64
+	var mu sync.Mutex
+	for i, req := range grid {
+		i, req := i, req
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			est, cached, err := s.estimate(ctx, entry, req)
+			o := sweep.Outcome[prophet.Estimate]{Index: i, Value: est, Err: err}
+			if err == nil && est.Err != nil {
+				o.Err = est.Err
+			}
+			if isCancellation(err) {
+				o.Skipped = true
+			}
+			mu.Lock()
+			if cached {
+				cachedCount++
+			}
+			resp.Outcomes[i] = o
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	resp.Cached = int(cachedCount)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.readyMu.RLock()
+	ready := s.ready
+	s.readyMu.RUnlock()
+	if !ready {
+		writeError(w, http.StatusServiceUnavailable, "server is still loading workload profiles")
+		return
+	}
+	out := make([]workloadInfo, 0, len(s.entries))
+	for _, name := range s.cfg.Workloads {
+		e := s.entries[name]
+		out = append(out, workloadInfo{
+			Name:     e.name,
+			Desc:     e.desc,
+			Paradigm: e.paradigm.String(),
+			Sched:    e.sched.String(),
+			TreeHash: e.treeHash,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.readyMu.RLock()
+	ready, closing := s.ready, s.closing
+	s.readyMu.RUnlock()
+	switch {
+	case closing:
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case !ready:
+		writeError(w, http.StatusServiceUnavailable, "loading workload profiles")
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	}
+}
+
+// handleMetrics serves the JSON snapshot of the obs registry: server
+// request/latency series, estimate-cache and batch traffic, and the
+// pipeline metrics (stage timers, DES counters, sweep cells) aggregated
+// from every profile and emulation the daemon has run.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := s.metrics.Snapshot().WriteJSON(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// ---- plumbing ----
+
+func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadEntry, bool) {
+	s.readyMu.RLock()
+	ready := s.ready
+	s.readyMu.RUnlock()
+	if !ready {
+		writeError(w, http.StatusServiceUnavailable, "server is still loading workload profiles")
+		return nil, false
+	}
+	entry, ok := s.entries[name]
+	if !ok {
+		s.badReqs.Inc()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q (GET /v1/workloads lists them)", name))
+		return nil, false
+	}
+	return entry, true
+}
+
+// decodeBody parses a JSON request body strictly: unknown fields are a
+// client error (they are always a typo against this API), and bodies are
+// capped at 1 MiB.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.badReqs.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) clientError(w http.ResponseWriter, err error) {
+	s.badReqs.Inc()
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hung up; nothing left to report to it
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func isCancellation(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prophet"
+	"prophet/internal/sweep"
+)
+
+// The HTTP wire format. Request and estimate bodies reuse the stable
+// JSON vocabulary pinned in PR 3 (results/golden/estimates.json): a
+// /v1/predict response body IS a prophet.Estimate, and each /v1/sweep
+// outcome IS a sweep.Outcome[prophet.Estimate] — the HTTP layer adds
+// envelope fields but never renames or re-encodes the library's types,
+// so serving and the single-shot CLIs cannot drift apart.
+
+// predictRequest is the body of POST /v1/predict.
+type predictRequest struct {
+	// Workload names a registered benchmark (see GET /v1/workloads).
+	Workload string `json:"workload"`
+	// Request is the prediction to run, in the library wire format.
+	Request prophet.Request `json:"request"`
+	// TimeoutMS optionally tightens the per-request deadline; it can
+	// only shorten the server's configured limit, never extend it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// sweepRequest is the body of POST /v1/sweep: a cores × paradigm ×
+// sched (× method) grid over one workload, the request shape of the
+// paper's Fig. 11/12 sweeps.
+type sweepRequest struct {
+	Workload string `json:"workload"`
+	// Methods, Paradigms, Scheds are parsed with the prophet.Parse*
+	// vocabulary. Empty lists default to ["ff"], the workload's
+	// paradigm, and the workload's schedule.
+	Methods   []string `json:"methods,omitempty"`
+	Paradigms []string `json:"paradigms,omitempty"`
+	Scheds    []string `json:"scheds,omitempty"`
+	// Cores is the thread-count axis; empty defaults to the profile's
+	// calibrated thread counts. Entries are normalized (deduplicated,
+	// ascending) exactly like prophet.ParseCores.
+	Cores []int `json:"cores,omitempty"`
+	// MemoryModel toggles burden factors (default true: the paper's
+	// PredM series).
+	MemoryModel *bool `json:"memory_model,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+}
+
+// sweepResponse is the body of a /v1/sweep reply. Outcomes are indexed
+// in deterministic grid order: methods, then paradigms, then schedules,
+// then cores (cores innermost — consecutive outcomes trace one curve of
+// a Fig. 12 panel).
+type sweepResponse struct {
+	Workload string                            `json:"workload"`
+	Cells    int                               `json:"cells"`
+	Cached   int                               `json:"cached"`
+	Outcomes []sweep.Outcome[prophet.Estimate] `json:"outcomes"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// workloadInfo is one entry of GET /v1/workloads.
+type workloadInfo struct {
+	Name     string `json:"name"`
+	Desc     string `json:"desc"`
+	Paradigm string `json:"paradigm"`
+	Sched    string `json:"sched"`
+	TreeHash string `json:"tree_hash"`
+}
+
+// Grid construction limits: a request can ask for a big sweep, not an
+// unbounded one — the admission layer protects the pool, these protect
+// the expander.
+const (
+	maxThreads   = 1024
+	maxAxisLen   = 64
+	maxGridCells = 4096
+)
+
+// badRequestError marks a client error (HTTP 400).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// validateRequest sanity-checks one prediction request before it reaches
+// the emulators: negative thread counts and absurd oversubscription are
+// client errors, not simulation inputs.
+func validateRequest(req prophet.Request) error {
+	if req.Threads < 0 {
+		return badRequestf("threads must be >= 0 (0 selects the machine core count), got %d", req.Threads)
+	}
+	if req.Threads > maxThreads {
+		return badRequestf("threads %d exceeds the limit %d", req.Threads, maxThreads)
+	}
+	if req.Sched.Chunk < 0 {
+		return badRequestf("schedule chunk must be >= 0, got %d", req.Sched.Chunk)
+	}
+	return nil
+}
+
+// normalizeCores validates and normalizes a cores axis: every entry a
+// positive integer, duplicates collapsed, ascending order (the same
+// normalization prophet.ParseCores applies to its text form).
+func normalizeCores(cores []int) ([]int, error) {
+	if len(cores) > maxAxisLen {
+		return nil, badRequestf("cores axis has %d entries, limit %d", len(cores), maxAxisLen)
+	}
+	seen := make(map[int]bool, len(cores))
+	out := make([]int, 0, len(cores))
+	for _, c := range cores {
+		if c < 1 {
+			return nil, badRequestf("bad core count %d (must be a positive integer)", c)
+		}
+		if c > maxThreads {
+			return nil, badRequestf("core count %d exceeds the limit %d", c, maxThreads)
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// expandGrid turns a sweep request into the deterministic cell order:
+// methods → paradigms → scheds → cores, cores innermost.
+func expandGrid(sr sweepRequest, entry *workloadEntry) ([]prophet.Request, error) {
+	methods := sr.Methods
+	if len(methods) == 0 {
+		methods = []string{"ff"}
+	}
+	paradigms := sr.Paradigms
+	if len(paradigms) == 0 {
+		paradigms = []string{entry.paradigm.String()}
+	}
+	scheds := sr.Scheds
+	if len(scheds) == 0 {
+		scheds = []string{entry.sched.String()}
+	}
+	if len(methods) > maxAxisLen || len(paradigms) > maxAxisLen || len(scheds) > maxAxisLen {
+		return nil, badRequestf("axis longer than the limit %d", maxAxisLen)
+	}
+	cores := sr.Cores
+	if len(cores) == 0 {
+		cores = entry.threadCounts
+	}
+	cores, err := normalizeCores(cores)
+	if err != nil {
+		return nil, err
+	}
+	if len(cores) == 0 {
+		return nil, badRequestf("empty cores axis")
+	}
+	useMem := true
+	if sr.MemoryModel != nil {
+		useMem = *sr.MemoryModel
+	}
+
+	ms := make([]prophet.Method, 0, len(methods))
+	for _, m := range methods {
+		parsed, err := prophet.ParseMethod(strings.TrimSpace(m))
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		ms = append(ms, parsed)
+	}
+	ps := make([]prophet.Paradigm, 0, len(paradigms))
+	for _, p := range paradigms {
+		parsed, err := prophet.ParseParadigm(strings.TrimSpace(p))
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		ps = append(ps, parsed)
+	}
+	ss := make([]prophet.Sched, 0, len(scheds))
+	for _, s := range scheds {
+		parsed, err := prophet.ParseSched(strings.TrimSpace(s))
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		ss = append(ss, parsed)
+	}
+
+	n := len(ms) * len(ps) * len(ss) * len(cores)
+	if n > maxGridCells {
+		return nil, badRequestf("sweep grid has %d cells, limit %d", n, maxGridCells)
+	}
+	grid := make([]prophet.Request, 0, n)
+	for _, m := range ms {
+		for _, p := range ps {
+			for _, sc := range ss {
+				for _, c := range cores {
+					req := prophet.Request{Method: m, Threads: c, Paradigm: p, Sched: sc, MemoryModel: useMem}
+					if err := validateRequest(req); err != nil {
+						return nil, err
+					}
+					grid = append(grid, req)
+				}
+			}
+		}
+	}
+	return grid, nil
+}
+
+// cellKey is the cache/singleflight key of one prediction: the workload,
+// the hash of its compressed program tree (so a re-registered workload
+// with a different tree never collides with stale entries), and the
+// request in its canonical String() spellings.
+func cellKey(entry *workloadEntry, req prophet.Request) string {
+	return fmt.Sprintf("%s\x00%s\x00%s|%d|%s|%s|%t",
+		entry.name, entry.treeHash,
+		req.Method, req.Threads, req.Paradigm, req.Sched, req.MemoryModel)
+}

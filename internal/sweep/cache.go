@@ -96,6 +96,15 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 			if r := recover(); r != nil {
 				var zero V
 				e.v = zero
+				// A legacy panicking cancellation path (a compute layer that
+				// still signals ctx expiry by panicking with the context
+				// error) must stay a cancellation: wrapped in a *PanicError
+				// it would no longer satisfy isCancellation and the flight's
+				// abort would be memoized for every later Get of the key.
+				if err, ok := r.(error); ok && isCancellation(err) {
+					e.err = err
+					return
+				}
 				e.err = &PanicError{Cell: -1, Value: r, Stack: debug.Stack()}
 			}
 		}()

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -182,6 +183,81 @@ func TestRunCtxErrorWithoutFailFastContinues(t *testing.T) {
 	}
 	if !errors.Is(out[0].Err, boom) {
 		t.Fatalf("cell 0 Err = %v", out[0].Err)
+	}
+}
+
+// TestCacheLeaderCancelPanicDoesNotPoison: a leader canceled via context
+// must not install the cancellation as the cached value for later
+// waiters — including when the cancellation escapes the compute as a
+// panic (the legacy panicking paths the public API still unwraps with
+// recoverToError). Pre-fix, such a panic was memoized as a *PanicError,
+// poisoning the key forever.
+func TestCacheLeaderCancelPanicDoesNotPoison(t *testing.T) {
+	var c Cache[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Leader: a waiter deduplicates onto the flight, then the leader is
+	// canceled and aborts by panicking with the context error.
+	leaderIn := make(chan struct{})
+	waiterIn := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-leaderIn // leader's compute is running
+		go func() {
+			close(waiterIn)
+			_, err := c.Get("k", func() (int, error) {
+				t.Error("waiter recomputed while the leader's flight was live")
+				return 0, nil
+			})
+			waiterErr <- err
+		}()
+		<-waiterIn
+		time.Sleep(time.Millisecond) // let the waiter park on the flight
+		cancel()
+	}()
+	_, err := c.Get("k", func() (int, error) {
+		close(leaderIn)
+		<-ctx.Done()
+		panic(ctx.Err()) // legacy cancellation-by-panic
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want the flight's cancellation", err)
+	}
+
+	// The key must not be poisoned: a fresh Get recomputes and succeeds.
+	v, err := c.Get("k", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("fresh Get = %d, %v; want 42 after canceled leader", v, err)
+	}
+}
+
+// TestCacheWrappedCancellationPanicNotMemoized: cancellations that arrive
+// wrapped (fmt.Errorf %w chains) behave the same whether returned or
+// panicked.
+func TestCacheWrappedCancellationPanicNotMemoized(t *testing.T) {
+	var c Cache[string, int]
+	_, err := c.Get("k", func() (int, error) {
+		panic(fmt.Errorf("calibrate: %w", context.DeadlineExceeded))
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first Get err = %v, want wrapped DeadlineExceeded", err)
+	}
+	v, err := c.Get("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recompute = %d, %v; want 7", v, err)
+	}
+	// Non-cancellation panics still cache (the documented contract).
+	_, err = c.Get("boom", func() (int, error) { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic err = %v, want *PanicError", err)
+	}
+	_, err2 := c.Get("boom", func() (int, error) { return 0, nil })
+	if !errors.As(err2, &pe) {
+		t.Fatalf("cached panic err = %v, want the memoized *PanicError", err2)
 	}
 }
 

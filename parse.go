@@ -2,6 +2,7 @@ package prophet
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -65,15 +66,27 @@ func ParseSched(s string) (Sched, error) {
 
 // ParseCores parses a comma-separated list of CPU counts, e.g.
 // "2,4,6,8,10,12" (spaces around entries are allowed). Every entry must
-// be a positive integer.
+// be a positive integer. The result is normalized: duplicates collapse
+// to one entry and the counts come back sorted ascending, so "4,4,2"
+// parses to [2 4] — sweeps built from the list visit each core count
+// exactly once, in curve order.
 func ParseCores(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("prophet: empty core list")
+	}
+	seen := make(map[int]bool)
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("prophet: bad core count %q", part)
 		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out, nil
 }

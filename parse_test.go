@@ -2,6 +2,7 @@ package prophet
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -44,6 +45,39 @@ func TestParseSchedRoundTrip(t *testing.T) {
 		}
 		if got.String() != s.String() {
 			t.Errorf("ParseSched(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+}
+
+// TestParseCoresNormalizes pins the documented normalization: duplicates
+// collapse, the result is sorted ascending, surrounding whitespace is
+// tolerated, and an empty list is rejected. Duplicate / descending input
+// used to flow through verbatim and skew sweep cell counts.
+func TestParseCoresNormalizes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"2,4,6", []int{2, 4, 6}},
+		{"4,4,2", []int{2, 4}},             // duplicates + descending
+		{"12,8,4,8,12", []int{4, 8, 12}},   // repeated duplicates
+		{" 2 , 4 ,\t12 ", []int{2, 4, 12}}, // surrounding whitespace
+		{"7", []int{7}},
+		{"7,7,7,7", []int{7}},
+	}
+	for _, c := range cases {
+		got, err := ParseCores(c.in)
+		if err != nil {
+			t.Errorf("ParseCores(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCores(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "   ", "a", "0", "-1", "2,,4", "2, ,4"} {
+		if got, err := ParseCores(bad); err == nil {
+			t.Errorf("ParseCores(%q) accepted: %v", bad, got)
 		}
 	}
 }
