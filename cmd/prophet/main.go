@@ -8,8 +8,17 @@
 //	        [-sched dynamic1] [-mem] [-real] [-tree out.json] [-dot out.dot]
 //	        [-trace trace.json] [-metrics metrics.json]
 //	prophet -load tree.json [-method ff] ...
+//	prophet -import prof.pb.gz [-sample-type cpu] [-collapse 0.001] ...
+//	prophet -import-folded stacks.txt ...
 //
 // Use -list to see the available benchmarks.
+//
+// -import ingests a pprof protobuf profile (go test -cpuprofile,
+// runtime/pprof, net/http/pprof; gzipped or raw) and -import-folded a
+// folded-stacks text capture (perf script | stackcollapse); both
+// convert the sampled call tree into a program tree and predict over
+// it, so any profiled binary becomes a scenario. A profile that fails
+// to decode, or decodes to zero samples, is a usage error (exit 2).
 //
 // -trace records every simulated machine run and emulation as Chrome
 // trace_event JSON (one lane per simulated core; load the file in
@@ -34,6 +43,7 @@ import (
 
 	"prophet"
 	"prophet/internal/pprofutil"
+	"prophet/internal/profimport"
 	"prophet/internal/report"
 	"prophet/internal/workloads"
 )
@@ -70,6 +80,10 @@ func main() {
 	var (
 		benchName  = flag.String("bench", "", "benchmark to analyze (see -list)")
 		loadPath   = flag.String("load", "", "load a program tree exported with -tree instead of profiling a benchmark")
+		importPath = flag.String("import", "", "import a pprof protobuf profile (gzipped or raw) as the program tree")
+		foldedPath = flag.String("import-folded", "", "import a folded-stacks text capture (stackcollapse format) as the program tree")
+		sampleType = flag.String("sample-type", "", "pprof value column to import, by type name (default: cpu, then the profile's default)")
+		collapse   = flag.Float64("collapse", 0, "leaf-collapse threshold: fold subtrees below this fraction of total weight (0 = default 0.001, negative disables)")
 		list       = flag.Bool("list", false, "list available benchmarks")
 		method     = flag.String("method", "ff", "prediction method: ff | synthesizer | suitability | amdahl | critical-path")
 		coresFlag  = flag.String("cores", "2,4,6,8,10,12", "comma-separated CPU counts")
@@ -118,13 +132,23 @@ func main() {
 		defer cancel()
 	}
 
-	if *list || (*benchName == "" && *loadPath == "") {
+	sources := 0
+	for _, s := range []string{*benchName, *loadPath, *importPath, *foldedPath} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		fmt.Fprintln(os.Stderr, "at most one of -bench, -load, -import, -import-folded may be given")
+		os.Exit(exitUsage)
+	}
+	if *list || sources == 0 {
 		fmt.Println("available benchmarks:")
 		for _, n := range workloads.Names() {
 			w, _ := workloads.ByName(n)
 			fmt.Printf("  %-11s %s\n", n, w.Desc)
 		}
-		if *benchName == "" && *loadPath == "" && !*list {
+		if sources == 0 && !*list {
 			os.Exit(2)
 		}
 		return
@@ -147,7 +171,21 @@ func main() {
 		paradigm prophet.Paradigm
 		sched    prophet.Sched
 	)
-	if *loadPath != "" {
+	switch {
+	case *importPath != "" || *foldedPath != "":
+		root, stats, err := importTree(*importPath, *foldedPath, *sampleType, *collapse, metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "import:", err)
+			os.Exit(exitUsage)
+		}
+		name = *importPath + *foldedPath // the one that is set
+		fmt.Printf("imported %s: %s\n", name, stats)
+		prof, err = prophet.ProfileTreeCtx(ctx, root, &prophet.Options{ThreadCounts: cores, Observer: observer})
+		if err != nil {
+			fail("profile", err)
+		}
+		sched = prophet.Static
+	case *loadPath != "":
 		data, err := os.ReadFile(*loadPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -164,7 +202,7 @@ func main() {
 		}
 		name = *loadPath
 		sched = prophet.Static
-	} else {
+	default:
 		w, err := workloads.ByName(*benchName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -307,6 +345,32 @@ func main() {
 			fmt.Println("metrics written to", *metricsOut)
 		}
 	}
+}
+
+// importTree reads an externally captured execution profile (pprof
+// protobuf when pprofPath is set, folded-stacks text when foldedPath
+// is) and converts it to a program tree. Errors are typed: errors.Is
+// against prophet.ErrProfileCorrupt / ErrProfileEmpty /
+// ErrProfileTooLarge; main maps all of them to exit code 2 — a bad
+// input is a usage error, not a prediction failure.
+func importTree(pprofPath, foldedPath, sampleType string, collapse float64, metrics *prophet.Metrics) (*prophet.Tree, profimport.Stats, error) {
+	path, from := pprofPath, profimport.FromPprof
+	if foldedPath != "" {
+		path, from = foldedPath, profimport.FromFolded
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, profimport.Stats{}, err
+	}
+	res, err := from(data, &profimport.Options{
+		SampleType:       sampleType,
+		CollapseFraction: collapse,
+		Metrics:          metrics,
+	})
+	if err != nil {
+		return nil, profimport.Stats{}, err
+	}
+	return res.Tree, res.Stats, nil
 }
 
 // exportMetricsTo writes the metrics snapshot to w and closes it,

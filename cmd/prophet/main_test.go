@@ -3,10 +3,13 @@ package main
 import (
 	"errors"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"prophet"
+	"prophet/internal/profimport"
 )
 
 // failingWriteCloser scripts the write/close outcomes of a metrics sink.
@@ -71,6 +74,60 @@ func TestExportMetricsToFullDevice(t *testing.T) {
 		t.Fatal("writing metrics to /dev/full reported success")
 	} else if !strings.Contains(err.Error(), "no space") && !errors.Is(err, os.ErrClosed) {
 		t.Logf("got error (accepted): %v", err)
+	}
+}
+
+// TestImportTreeTypedErrors pins the -import error taxonomy: every
+// importTree failure is typed, dispatchable with errors.Is against the
+// public prophet sentinels alone (the PR 2 contract).
+func TestImportTreeTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.pb.gz")
+	if err := os.WriteFile(empty, profimport.GzipPprof(profimport.EncodePprof(nil, "cpu", "nanoseconds")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	junk := filepath.Join(dir, "junk.pb")
+	if err := os.WriteFile(junk, []byte{0xff, 0xff, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := importTree(empty, "", "", 0, nil); !errors.Is(err, prophet.ErrProfileEmpty) {
+		t.Errorf("empty profile: err = %v, want prophet.ErrProfileEmpty", err)
+	}
+	if _, _, err := importTree(junk, "", "", 0, nil); !errors.Is(err, prophet.ErrProfileCorrupt) {
+		t.Errorf("junk profile: err = %v, want prophet.ErrProfileCorrupt", err)
+	}
+	if _, _, err := importTree("", filepath.Join(dir, "nope.txt"), "", 0, nil); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestImportEmptyProfileExitCode is the end-to-end regression for the
+// CLI contract: `prophet -import` of a profile with zero samples exits
+// with code 2 (usage error — consistent with every other bad-input
+// path), not 1, and names the typed error on stderr. The test re-execs
+// itself as the prophet main.
+func TestImportEmptyProfileExitCode(t *testing.T) {
+	if os.Getenv("PROPHET_TEST_IMPORT_MAIN") == "1" {
+		os.Args = []string{"prophet", "-import", os.Getenv("PROPHET_TEST_IMPORT_FILE")}
+		main()
+		return // unreachable: main exits
+	}
+	file := filepath.Join(t.TempDir(), "empty.pb.gz")
+	if err := os.WriteFile(file, profimport.GzipPprof(profimport.EncodePprof(nil, "cpu", "nanoseconds")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestImportEmptyProfileExitCode")
+	cmd.Env = append(os.Environ(), "PROPHET_TEST_IMPORT_MAIN=1", "PROPHET_TEST_IMPORT_FILE="+file)
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("expected a nonzero exit, got err=%v output=%s", err, out)
+	}
+	if ee.ExitCode() != exitUsage {
+		t.Errorf("exit code = %d, want %d; output:\n%s", ee.ExitCode(), exitUsage, out)
+	}
+	if !strings.Contains(string(out), "no samples") {
+		t.Errorf("stderr does not name the typed error:\n%s", out)
 	}
 }
 

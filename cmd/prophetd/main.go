@@ -17,6 +17,8 @@
 //	POST /v1/predict   one prophet.Request against a workload
 //	POST /v1/sweep     a cores × paradigm × sched grid (Fig. 11/12 shape)
 //	GET  /v1/workloads registered workloads
+//	POST /v1/workloads?name=N upload a pprof or folded-stacks profile
+//	                   and register it as a servable workload
 //	GET  /healthz      liveness       GET /readyz  profiles loaded
 //	GET  /metrics      JSON snapshot of the obs registry
 //
@@ -66,6 +68,7 @@ func serveMain(args []string) int {
 		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		batchWindow = fs.Duration("batch-window", 500*time.Microsecond, "linger to coalesce concurrent cells into one batch")
 		maxBatch    = fs.Int("max-batch", 64, "max cells per coalesced batch")
+		maxImport   = fs.Int64("max-import-bytes", 8<<20, "profile-upload size cap for POST /v1/workloads (negative disables uploads)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,6 +82,7 @@ func serveMain(args []string) int {
 		RequestTimeout:     *reqTimeout,
 		BatchWindow:        *batchWindow,
 		MaxBatch:           *maxBatch,
+		MaxImportBytes:     *maxImport,
 	}
 	if *bench != "all" && *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"prophet/internal/profimport"
 	"prophet/internal/sim"
 	"prophet/internal/trace"
 	"prophet/internal/tree"
@@ -38,6 +39,15 @@ var (
 	// ErrCanceled: the caller's context was canceled. Deadline expiry
 	// surfaces as context.DeadlineExceeded, as usual.
 	ErrCanceled = context.Canceled
+	// ErrProfileCorrupt: an imported execution profile (pprof protobuf
+	// or folded stacks) is not decodable.
+	ErrProfileCorrupt = profimport.ErrCorrupt
+	// ErrProfileEmpty: an imported profile decoded but carries no
+	// samples with positive weight — there is nothing to predict over.
+	ErrProfileEmpty = profimport.ErrEmpty
+	// ErrProfileTooLarge: an imported profile exceeds the configured
+	// size limit (raw or after gzip expansion).
+	ErrProfileTooLarge = profimport.ErrTooLarge
 )
 
 // Diagnostic error types, re-exported so callers can errors.As without
@@ -89,7 +99,8 @@ func isProphetError(err error) bool {
 	for _, sentinel := range []error{
 		ErrAnnotationMismatch, ErrMalformedTree, ErrDeadlock,
 		ErrLockMisuse, ErrBudgetExceeded, context.Canceled,
-		context.DeadlineExceeded,
+		context.DeadlineExceeded, ErrProfileCorrupt, ErrProfileEmpty,
+		ErrProfileTooLarge,
 	} {
 		if errors.Is(err, sentinel) {
 			return true

@@ -43,6 +43,9 @@ const (
 	// MServerBadRequests counts requests refused with a 4xx other than
 	// 429 (malformed JSON, unknown workload, invalid grid).
 	MServerBadRequests = "server.bad_requests"
+	// MServerImports counts workloads registered via POST /v1/workloads
+	// (successful profile uploads only).
+	MServerImports = "server.imports"
 
 	// Per-endpoint request latency (nanosecond duration histograms,
 	// admission to response).
@@ -63,4 +66,13 @@ const (
 	MServerBatches    = "server.batch.batches"
 	MServerBatchCells = "server.batch.cells"
 	MServerBatchSize  = "server.batch.size"
+
+	// Profile import (internal/profimport): conversions run, samples
+	// parsed, trie frames kept in the converted tree, and frames folded
+	// away by the leaf-collapse pass (dropped/(kept+dropped) is the
+	// collapse ratio).
+	MImportRuns          = "import.runs"
+	MImportSamples       = "import.samples"
+	MImportFrames        = "import.frames"
+	MImportFramesDropped = "import.frames_dropped"
 )

@@ -1,0 +1,54 @@
+package profimport
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkProfImport measures decode+convert throughput on the largest
+// checked-in fixture (the real go test -cpuprofile capture), reporting
+// samples/sec. Tracked in results/bench_baseline.json and run by the
+// benchmark-smoke CI job.
+func BenchmarkProfImport(b *testing.B) {
+	data := readFixture(b, "cpu.pb.gz")
+	var samples int
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := FromPprof(data, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.Stats.Samples
+	}
+	b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkProfImportFolded: parser+converter throughput on synthetic
+// folded text scaled well past the fixtures (10k distinct stacks).
+func BenchmarkProfImportFolded(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	var buf []byte
+	for i := 0; i < 10000; i++ {
+		depth := 1 + r.Intn(8)
+		for j := 0; j < depth; j++ {
+			if j > 0 {
+				buf = append(buf, ';')
+			}
+			buf = append(buf, fmt.Sprintf("frame%03d", r.Intn(300))...)
+		}
+		buf = append(buf, fmt.Sprintf(" %d\n", 1+r.Intn(1000))...)
+	}
+	var samples int
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := FromFolded(buf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.Stats.Samples
+	}
+	b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}

@@ -1,0 +1,185 @@
+package profimport
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prophet/internal/clock"
+	"prophet/internal/obs"
+	"prophet/internal/tree"
+)
+
+// This file converts sampled stacks into the paper's program-tree
+// grammar. The samples are first merged into a stack trie (one node per
+// distinct call path, self weight = samples whose stack ends there),
+// then mapped structurally:
+//
+//	trie root          -> Root, with one U for empty-stack weight and
+//	                      one Sec (Options.SectionName) for the frames
+//	frame              -> Task named after the frame, whose children are
+//	                      a U leaf of the frame's self weight and, when
+//	                      it has callees, a nested Sec of their Tasks
+//
+// Sibling frames therefore become sibling Tasks of one Sec: the
+// imported tree answers "what if the calls at each level of this call
+// tree ran in parallel", which is exactly the question the emulators,
+// the region profile and the advisor explore. Child order is sorted by
+// frame name, so conversion is deterministic for identical input
+// regardless of sample order (property-tested).
+
+// trieNode is one distinct call path.
+type trieNode struct {
+	name     string
+	self     int64 // weight of samples ending at this frame
+	children map[string]*trieNode
+}
+
+func (t *trieNode) child(name string) *trieNode {
+	if t.children == nil {
+		t.children = make(map[string]*trieNode)
+	}
+	c, ok := t.children[name]
+	if !ok {
+		c = &trieNode{name: name}
+		t.children[name] = c
+	}
+	return c
+}
+
+// total is self plus all descendant weight.
+func (t *trieNode) total() int64 {
+	sum := t.self
+	for _, c := range t.children {
+		sum += c.total()
+	}
+	return sum
+}
+
+// count returns the number of frame nodes in the subtree (excluding a
+// synthetic root, which callers never pass).
+func (t *trieNode) count() int {
+	n := 1
+	for _, c := range t.children {
+		n += c.count()
+	}
+	return n
+}
+
+// sortedChildren returns the children ordered by frame name.
+func (t *trieNode) sortedChildren() []*trieNode {
+	out := make([]*trieNode, 0, len(t.children))
+	for _, c := range t.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// convert builds the program tree from samples under o's collapse and
+// depth budgets.
+func convert(samples []StackSample, o Options) (*Result, error) {
+	root := &trieNode{}
+	st := Stats{}
+	for _, s := range samples {
+		if s.Weight <= 0 {
+			continue
+		}
+		st.Samples++
+		st.TotalWeight += s.Weight
+		frames := s.Frames
+		if len(frames) > o.MaxDepth {
+			// Fold the excess depth into the deepest kept frame: the
+			// weight stays, only the refinement is lost.
+			frames = frames[:o.MaxDepth]
+			st.TruncatedStacks++
+		}
+		cur := root
+		for _, f := range frames {
+			cur = cur.child(f)
+		}
+		cur.self += s.Weight
+	}
+	if st.Samples == 0 {
+		return nil, fmt.Errorf("%w: decoded 0 samples with positive weight", ErrEmpty)
+	}
+
+	for _, c := range root.children {
+		st.Frames += c.count()
+	}
+	if o.CollapseFraction > 0 {
+		// Absolute threshold in weight units; floor keeps tiny profiles
+		// intact (threshold 0 collapses nothing).
+		threshold := int64(o.CollapseFraction * float64(st.TotalWeight))
+		st.FramesDropped = collapse(root, threshold)
+	}
+	st.FramesKept = st.Frames - st.FramesDropped
+
+	scale := func(w int64) clock.Cycles {
+		if o.CyclesPerUnit == 1 {
+			return clock.Cycles(w)
+		}
+		return clock.Cycles(math.Round(float64(w) * o.CyclesPerUnit))
+	}
+	var rootChildren []*tree.Node
+	if root.self > 0 {
+		// Samples with empty stacks: serial time outside any section.
+		rootChildren = append(rootChildren, tree.NewU(scale(root.self)))
+	}
+	if len(root.children) > 0 {
+		sec := tree.NewSec(o.SectionName)
+		for _, c := range root.sortedChildren() {
+			sec.Children = append(sec.Children, frameTask(c, scale))
+		}
+		rootChildren = append(rootChildren, sec)
+	}
+	out := tree.NewRoot(rootChildren...)
+	if err := out.Validate(); err != nil {
+		// Unreachable by construction; kept as a hard backstop because
+		// this tree flows into the emulators.
+		return nil, fmt.Errorf("%w: converted tree invalid: %v", ErrCorrupt, err)
+	}
+
+	if m := o.Metrics; m != nil {
+		m.Counter(obs.MImportRuns).Inc()
+		m.Counter(obs.MImportSamples).Add(int64(st.Samples))
+		m.Counter(obs.MImportFrames).Add(int64(st.FramesKept))
+		m.Counter(obs.MImportFramesDropped).Add(int64(st.FramesDropped))
+	}
+	return &Result{Tree: out, Stats: st}, nil
+}
+
+// collapse folds every subtree whose total weight is <= threshold into
+// its parent's self weight, returning the number of frames removed.
+// Weight is conserved exactly: a dropped subtree's total moves to the
+// parent's self time.
+func collapse(t *trieNode, threshold int64) int {
+	dropped := 0
+	for name, c := range t.children {
+		if ct := c.total(); ct <= threshold {
+			t.self += ct
+			dropped += c.count()
+			delete(t.children, name)
+			continue
+		}
+		dropped += collapse(c, threshold)
+	}
+	return dropped
+}
+
+// frameTask maps one trie frame to a Task node (see the file comment
+// for the grammar mapping).
+func frameTask(t *trieNode, scale func(int64) clock.Cycles) *tree.Node {
+	task := tree.NewTask(t.name)
+	if t.self > 0 || len(t.children) == 0 {
+		task.Children = append(task.Children, tree.NewU(scale(t.self)))
+	}
+	if len(t.children) > 0 {
+		sec := tree.NewSec(t.name)
+		for _, c := range t.sortedChildren() {
+			sec.Children = append(sec.Children, frameTask(c, scale))
+		}
+		task.Children = append(task.Children, sec)
+	}
+	return task
+}

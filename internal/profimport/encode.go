@@ -1,0 +1,122 @@
+package profimport
+
+import (
+	"bytes"
+	"compress/gzip"
+)
+
+// EncodePprof builds a minimal valid pprof protobuf profile (raw, not
+// gzipped) carrying the given stacks with one value column named
+// (sampleType, unit). It exists for fixtures, fuzz seed corpora and
+// round-trip tests — a profile encoded here decodes back to the same
+// root-first stacks — and intentionally emits only the messages
+// decodePprof reads.
+func EncodePprof(samples []StackSample, sampleType, unit string) []byte {
+	strIdx := map[string]int64{"": 0}
+	strtab := []string{""}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strtab))
+		strIdx[s] = i
+		strtab = append(strtab, s)
+		return i
+	}
+	funcID := map[string]uint64{}
+	var funcs []string // creation order, for deterministic output
+	type loc struct {
+		id uint64
+		fn uint64
+	}
+	locID := map[string]uint64{}
+	var locs []loc
+	locFor := func(frame string) uint64 {
+		if id, ok := locID[frame]; ok {
+			return id
+		}
+		fid, ok := funcID[frame]
+		if !ok {
+			fid = uint64(len(funcID) + 1)
+			funcID[frame] = fid
+			funcs = append(funcs, frame)
+			intern(frame)
+		}
+		id := uint64(len(locs) + 1)
+		locID[frame] = id
+		locs = append(locs, loc{id: id, fn: fid})
+		return id
+	}
+
+	var body bytes.Buffer
+	// sample_type = 1
+	var vt bytes.Buffer
+	pbVarintField(&vt, 1, uint64(intern(sampleType)))
+	pbVarintField(&vt, 2, uint64(intern(unit)))
+	pbBytesField(&body, 1, vt.Bytes())
+	// sample = 2 (location_id leaf-first, packed; value packed)
+	for _, s := range samples {
+		var sm bytes.Buffer
+		var ids bytes.Buffer
+		for i := len(s.Frames) - 1; i >= 0; i-- {
+			pbVarint(&ids, locFor(s.Frames[i]))
+		}
+		if ids.Len() > 0 {
+			pbBytesField(&sm, 1, ids.Bytes())
+		}
+		var vals bytes.Buffer
+		pbVarint(&vals, uint64(s.Weight))
+		pbBytesField(&sm, 2, vals.Bytes())
+		pbBytesField(&body, 2, sm.Bytes())
+	}
+	// location = 4
+	for _, l := range locs {
+		var lm bytes.Buffer
+		pbVarintField(&lm, 1, l.id)
+		var ln bytes.Buffer
+		pbVarintField(&ln, 1, l.fn)
+		pbBytesField(&lm, 4, ln.Bytes())
+		pbBytesField(&body, 4, lm.Bytes())
+	}
+	// function = 5
+	for _, frame := range funcs {
+		var fm bytes.Buffer
+		pbVarintField(&fm, 1, funcID[frame])
+		pbVarintField(&fm, 2, uint64(strIdx[frame]))
+		pbBytesField(&body, 5, fm.Bytes())
+	}
+	// string_table = 6
+	for _, s := range strtab {
+		pbBytesField(&body, 6, []byte(s))
+	}
+	return body.Bytes()
+}
+
+// GzipPprof gzip-compresses an encoded profile, matching what Go's
+// runtime/pprof writes to disk.
+func GzipPprof(raw []byte) []byte {
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	_, _ = zw.Write(raw)
+	_ = zw.Close()
+	return out.Bytes()
+}
+
+func pbVarint(b *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}
+
+func pbVarintField(b *bytes.Buffer, num int, v uint64) {
+	pbVarint(b, uint64(num)<<3|0)
+	pbVarint(b, v)
+}
+
+func pbBytesField(b *bytes.Buffer, num int, payload []byte) {
+	pbVarint(b, uint64(num)<<3|2)
+	pbVarint(b, uint64(len(payload)))
+	b.Write(payload)
+}

@@ -1,0 +1,58 @@
+package profimport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseFolded parses folded-stacks text: one stack per line in the
+// `stackcollapse-*.pl` output format,
+//
+//	frame;frame;...;frame <weight>
+//
+// where weight is a non-negative integer (sample count, microseconds —
+// whatever the collapser summed). Blank lines and lines starting with
+// '#' are ignored. Repeated stacks are legal; their weights accumulate
+// in the trie.
+func parseFolded(data []byte, o Options) ([]StackSample, error) {
+	if int64(len(data)) > o.MaxBytes {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrTooLarge, len(data), o.MaxBytes)
+	}
+	var out []StackSample
+	rest := string(data)
+	for lineNo := 1; rest != ""; lineNo++ {
+		var line string
+		if i := strings.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			line, rest = rest, ""
+		}
+		line = strings.TrimRight(line, " \t\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("%w: line %d: no weight field (want \"frames... N\")", ErrCorrupt, lineNo)
+		}
+		weight, err := strconv.ParseInt(line[cut+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad weight %q", ErrCorrupt, lineNo, line[cut+1:])
+		}
+		if weight < 0 {
+			return nil, fmt.Errorf("%w: line %d: negative weight %d", ErrCorrupt, lineNo, weight)
+		}
+		var frames []string
+		for _, f := range strings.Split(line[:cut], ";") {
+			if f = strings.TrimSpace(f); f != "" {
+				frames = append(frames, f)
+			}
+		}
+		if len(frames) == 0 {
+			return nil, fmt.Errorf("%w: line %d: empty stack", ErrCorrupt, lineNo)
+		}
+		out = append(out, StackSample{Frames: frames, Weight: weight})
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package profimport
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden converted-tree files")
+
+// TestGoldenTrees pins the exact converted tree (as stable-format JSON)
+// for every checked-in fixture, at default options. Any change to the
+// decoder, the grammar mapping, the child ordering or the collapse pass
+// shows up as a golden diff — run with -update to accept intentional
+// changes.
+func TestGoldenTrees(t *testing.T) {
+	cases := []struct {
+		fixture string
+		golden  string
+		from    func([]byte, *Options) (*Result, error)
+	}{
+		{"small.pb.gz", "small.tree.json", FromPprof},
+		{"cpu.pb.gz", "cpu.tree.json", FromPprof},
+		{"stacks.folded", "stacks.tree.json", FromFolded},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			res, err := c.from(readFixture(t, c.fixture), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(res.Tree, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			goldenPath := filepath.Join("testdata", "golden", c.golden)
+			if *update {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/profimport -update` to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("converted tree for %s drifted from golden %s\ngot %d bytes, want %d; rerun with -update if intentional",
+					c.fixture, c.golden, len(got), len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,508 @@
+package profimport
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file decodes the pprof protobuf format (profile.proto) with a
+// hand-rolled wire-format walk: varints, the four wire types Go's
+// runtime emits, packed and unpacked repeated fields, and unknown-field
+// skipping. Rolling the ~200 lines ourselves keeps the module free of a
+// protobuf dependency (see DESIGN.md) and gives the fuzzer a single
+// bounded surface: every allocation below is capped by the input length
+// and every error wraps ErrCorrupt/ErrTooLarge.
+//
+// Only the messages the converter needs are modeled:
+//
+//	Profile:  sample_type=1, sample=2, location=4, function=5,
+//	          string_table=6, default_sample_type=14
+//	ValueType: type=1, unit=2            (string-table indices)
+//	Sample:   location_id=1, value=2     (packed or unpacked varints)
+//	Location: id=1, address=3, line=4
+//	Line:     function_id=1
+//	Function: id=1, name=2               (string-table index)
+//
+// Mappings, labels, comments and the drop/keep regexes are skipped.
+
+// pbuf walks one protobuf message payload.
+type pbuf struct {
+	b   []byte
+	pos int
+}
+
+func (p *pbuf) done() bool { return p.pos >= len(p.b) }
+
+func (p *pbuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		if p.pos >= len(p.b) {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		c := p.b[p.pos]
+		p.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrCorrupt)
+}
+
+// tag reads one field tag, returning field number and wire type.
+func (p *pbuf) tag() (num int, wt int, err error) {
+	v, err := p.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if v>>3 == 0 || v>>3 > 1<<28 {
+		return 0, 0, fmt.Errorf("%w: bad field number %d", ErrCorrupt, v>>3)
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (p *pbuf) bytes() ([]byte, error) {
+	n, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.b)-p.pos) {
+		return nil, fmt.Errorf("%w: length %d past end of message", ErrCorrupt, n)
+	}
+	out := p.b[p.pos : p.pos+int(n)]
+	p.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field payload of the given wire type.
+func (p *pbuf) skip(wt int) error {
+	switch wt {
+	case 0: // varint
+		_, err := p.varint()
+		return err
+	case 1: // fixed64
+		if len(p.b)-p.pos < 8 {
+			return fmt.Errorf("%w: truncated fixed64", ErrCorrupt)
+		}
+		p.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := p.bytes()
+		return err
+	case 5: // fixed32
+		if len(p.b)-p.pos < 4 {
+			return fmt.Errorf("%w: truncated fixed32", ErrCorrupt)
+		}
+		p.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("%w: unsupported wire type %d", ErrCorrupt, wt)
+	}
+}
+
+// varints reads a repeated varint field: packed (wire type 2) or one
+// unpacked element (wire type 0), appending to dst.
+func varints(p *pbuf, wt int, dst []uint64) ([]uint64, error) {
+	if wt == 0 {
+		v, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, v), nil
+	}
+	if wt != 2 {
+		return nil, fmt.Errorf("%w: repeated varint with wire type %d", ErrCorrupt, wt)
+	}
+	payload, err := p.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := pbuf{b: payload}
+	for !sub.done() {
+		v, err := sub.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+type rawValueType struct{ typ, unit int64 } // string-table indices
+
+type rawSample struct {
+	locIDs []uint64
+	values []uint64
+}
+
+type rawLocation struct {
+	id      uint64
+	address uint64
+	funcIDs []uint64 // line[i].function_id, innermost first
+}
+
+// decodePprof decodes data (gunzipping if needed) into root-first stack
+// samples plus the "type/unit" name of the value column used.
+func decodePprof(data []byte, o Options) ([]StackSample, string, error) {
+	if int64(len(data)) > o.MaxBytes {
+		return nil, "", fmt.Errorf("%w: %d raw bytes (limit %d)", ErrTooLarge, len(data), o.MaxBytes)
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		// Read one byte past the limit so a bomb is detected rather
+		// than silently truncated.
+		raw, err := io.ReadAll(io.LimitReader(zr, o.MaxBytes+1))
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, "", fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		if int64(len(raw)) > o.MaxBytes {
+			return nil, "", fmt.Errorf("%w: decompresses past %d bytes", ErrTooLarge, o.MaxBytes)
+		}
+		data = raw
+	}
+
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locs        []rawLocation
+		funcName    = map[uint64]int64{} // function id -> name string index
+		strtab      = []string{}
+		defaultType int64
+	)
+	p := pbuf{b: data}
+	for !p.done() {
+		num, wt, err := p.tag()
+		if err != nil {
+			return nil, "", err
+		}
+		switch num {
+		case 1: // sample_type
+			payload, err := expectBytes(&p, wt, "sample_type")
+			if err != nil {
+				return nil, "", err
+			}
+			vt, err := decodeValueType(payload)
+			if err != nil {
+				return nil, "", err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			payload, err := expectBytes(&p, wt, "sample")
+			if err != nil {
+				return nil, "", err
+			}
+			s, err := decodeSample(payload)
+			if err != nil {
+				return nil, "", err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			payload, err := expectBytes(&p, wt, "location")
+			if err != nil {
+				return nil, "", err
+			}
+			loc, err := decodeLocation(payload)
+			if err != nil {
+				return nil, "", err
+			}
+			locs = append(locs, loc)
+		case 5: // function
+			payload, err := expectBytes(&p, wt, "function")
+			if err != nil {
+				return nil, "", err
+			}
+			id, name, err := decodeFunction(payload)
+			if err != nil {
+				return nil, "", err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			payload, err := expectBytes(&p, wt, "string_table")
+			if err != nil {
+				return nil, "", err
+			}
+			strtab = append(strtab, string(payload))
+		case 14: // default_sample_type
+			if wt != 0 {
+				return nil, "", fmt.Errorf("%w: default_sample_type wire type %d", ErrCorrupt, wt)
+			}
+			v, err := p.varint()
+			if err != nil {
+				return nil, "", err
+			}
+			defaultType = int64(v)
+		default:
+			if err := p.skip(wt); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i > 0 && i < int64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	idx, typeName, err := pickValueIndex(sampleTypes, str, str(defaultType), o.SampleType)
+	if err != nil {
+		return nil, "", err
+	}
+
+	locByID := make(map[uint64]*rawLocation, len(locs))
+	for i := range locs {
+		locByID[locs[i].id] = &locs[i]
+	}
+
+	out := make([]StackSample, 0, len(samples))
+	for _, s := range samples {
+		if idx >= len(s.values) {
+			continue // sample lacks the selected column
+		}
+		w := int64(s.values[idx])
+		if w <= 0 {
+			continue
+		}
+		// location_id[0] is the leaf; build frames root-first. A
+		// location expands to its inline frames, line[0] innermost, so
+		// root-first order walks both lists backwards.
+		var frames []string
+		for i := len(s.locIDs) - 1; i >= 0; i-- {
+			loc := locByID[s.locIDs[i]]
+			if loc == nil {
+				frames = append(frames, fmt.Sprintf("location#%d", s.locIDs[i]))
+				continue
+			}
+			if len(loc.funcIDs) == 0 {
+				frames = append(frames, locFallbackName(loc))
+				continue
+			}
+			for j := len(loc.funcIDs) - 1; j >= 0; j-- {
+				name := str(funcName[loc.funcIDs[j]])
+				if name == "" {
+					name = locFallbackName(loc)
+				}
+				frames = append(frames, name)
+			}
+		}
+		out = append(out, StackSample{Frames: frames, Weight: w})
+	}
+	return out, typeName, nil
+}
+
+func locFallbackName(loc *rawLocation) string {
+	if loc.address != 0 {
+		return fmt.Sprintf("0x%x", loc.address)
+	}
+	return fmt.Sprintf("location#%d", loc.id)
+}
+
+func expectBytes(p *pbuf, wt int, field string) ([]byte, error) {
+	if wt != 2 {
+		return nil, fmt.Errorf("%w: %s has wire type %d, want 2", ErrCorrupt, field, wt)
+	}
+	return p.bytes()
+}
+
+func decodeValueType(payload []byte) (rawValueType, error) {
+	var vt rawValueType
+	p := pbuf{b: payload}
+	for !p.done() {
+		num, wt, err := p.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1, 2:
+			if wt != 0 {
+				return vt, fmt.Errorf("%w: ValueType field %d wire type %d", ErrCorrupt, num, wt)
+			}
+			v, err := p.varint()
+			if err != nil {
+				return vt, err
+			}
+			if num == 1 {
+				vt.typ = int64(v)
+			} else {
+				vt.unit = int64(v)
+			}
+		default:
+			if err := p.skip(wt); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func decodeSample(payload []byte) (rawSample, error) {
+	var s rawSample
+	p := pbuf{b: payload}
+	for !p.done() {
+		num, wt, err := p.tag()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.locIDs, err = varints(&p, wt, s.locIDs); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.values, err = varints(&p, wt, s.values); err != nil {
+				return s, err
+			}
+		default:
+			if err := p.skip(wt); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeLocation(payload []byte) (rawLocation, error) {
+	var loc rawLocation
+	p := pbuf{b: payload}
+	for !p.done() {
+		num, wt, err := p.tag()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1, 3:
+			if wt != 0 {
+				return loc, fmt.Errorf("%w: Location field %d wire type %d", ErrCorrupt, num, wt)
+			}
+			v, err := p.varint()
+			if err != nil {
+				return loc, err
+			}
+			if num == 1 {
+				loc.id = v
+			} else {
+				loc.address = v
+			}
+		case 4: // line
+			payload, err := expectBytes(&p, wt, "Location.line")
+			if err != nil {
+				return loc, err
+			}
+			fid, err := decodeLine(payload)
+			if err != nil {
+				return loc, err
+			}
+			loc.funcIDs = append(loc.funcIDs, fid)
+		default:
+			if err := p.skip(wt); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func decodeLine(payload []byte) (uint64, error) {
+	var fid uint64
+	p := pbuf{b: payload}
+	for !p.done() {
+		num, wt, err := p.tag()
+		if err != nil {
+			return 0, err
+		}
+		if num == 1 && wt == 0 {
+			if fid, err = p.varint(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := p.skip(wt); err != nil {
+			return 0, err
+		}
+	}
+	return fid, nil
+}
+
+func decodeFunction(payload []byte) (id uint64, name int64, err error) {
+	p := pbuf{b: payload}
+	for !p.done() {
+		num, wt, err := p.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case 1, 2:
+			if wt != 0 {
+				return 0, 0, fmt.Errorf("%w: Function field %d wire type %d", ErrCorrupt, num, wt)
+			}
+			v, err := p.varint()
+			if err != nil {
+				return 0, 0, err
+			}
+			if num == 1 {
+				id = v
+			} else {
+				name = int64(v)
+			}
+		default:
+			if err := p.skip(wt); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, name, nil
+}
+
+// pickValueIndex chooses the sample value column: an explicit request
+// by type name, else "cpu" (the column of CPU profiles' nanoseconds),
+// else the profile's default_sample_type, else the last column (pprof's
+// own UI default).
+func pickValueIndex(types []rawValueType, str func(int64) string, defaultType, want string) (int, string, error) {
+	if len(types) == 0 {
+		// Profiles without sample_type still carry single-value
+		// samples; use column 0 and an unnamed type.
+		if want != "" {
+			return 0, "", fmt.Errorf("%w: %q (profile declares no sample types)", ErrSampleType, want)
+		}
+		return 0, "unknown/unknown", nil
+	}
+	name := func(i int) string { return str(types[i].typ) + "/" + str(types[i].unit) }
+	if want != "" {
+		for i := range types {
+			if str(types[i].typ) == want {
+				return i, name(i), nil
+			}
+		}
+		var have []string
+		for i := range types {
+			have = append(have, str(types[i].typ))
+		}
+		sort.Strings(have)
+		return 0, "", fmt.Errorf("%w: %q (profile has %v)", ErrSampleType, want, have)
+	}
+	for i := range types {
+		if str(types[i].typ) == "cpu" {
+			return i, name(i), nil
+		}
+	}
+	if defaultType != "" {
+		for i := range types {
+			if str(types[i].typ) == defaultType {
+				return i, name(i), nil
+			}
+		}
+	}
+	return len(types) - 1, name(len(types) - 1), nil
+}

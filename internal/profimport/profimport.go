@@ -1,0 +1,201 @@
+// Package profimport ingests real execution profiles and converts them
+// into program trees, breaking the closed world of the built-in
+// benchmarks: any profiled binary becomes a prophet scenario.
+//
+// Two capture formats are supported, both decoded without external
+// dependencies (the protobuf wire walk is hand-rolled, so the module
+// stays dependency-free):
+//
+//   - Go's pprof protobuf format (the output of `go test -cpuprofile`,
+//     runtime/pprof, or net/http/pprof), gzip-compressed or raw.
+//   - Folded-stacks text (`perf script | stackcollapse-perf.pl` style):
+//     one "frame;frame;frame weight" line per distinct stack.
+//
+// The converter turns sampled stacks into the paper's program-tree
+// grammar (§IV-B): the stack trie's frames become nested Sec/Task
+// levels — sibling frames become sibling Tasks of one Sec, i.e. the
+// "what if calls at this level ran in parallel" reading of a call tree
+// (after TASKPROF) — and each frame's self weight becomes a U leaf, so
+// the tree's total length equals the profile's total sample weight
+// exactly (weight conservation; property-tested). A configurable
+// leaf-collapse threshold folds negligible subtrees into their parent's
+// self time, keeping imported trees within compression budgets.
+//
+// Both decoders parse untrusted input; they are fuzzed (FuzzPprofDecode,
+// FuzzFoldedParse) with checked-in seed corpora, bounded by explicit
+// size/depth limits, and return only typed errors from the family below.
+package profimport
+
+import (
+	"errors"
+	"fmt"
+
+	"prophet/internal/obs"
+	"prophet/internal/tree"
+)
+
+// The profimport error family. Callers dispatch with errors.Is; the
+// prophet root package re-exports these sentinels so CLI/server layers
+// never import this package for error handling alone.
+var (
+	// ErrCorrupt: the input is not a decodable profile (bad protobuf
+	// wire data, truncated gzip, malformed folded-stacks text).
+	ErrCorrupt = errors.New("profimport: malformed profile")
+	// ErrEmpty: the profile decoded but carries no samples with positive
+	// weight — there is nothing to convert.
+	ErrEmpty = errors.New("profimport: profile has no samples")
+	// ErrTooLarge: the input exceeds Options.MaxBytes (raw or after
+	// gzip expansion — the limit guards against decompression bombs).
+	ErrTooLarge = errors.New("profimport: profile exceeds size limit")
+	// ErrSampleType: Options.SampleType named a value column the
+	// profile does not have.
+	ErrSampleType = errors.New("profimport: requested sample type not in profile")
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultMaxBytes bounds raw and decompressed input (64 MiB).
+	DefaultMaxBytes = 64 << 20
+	// DefaultMaxDepth bounds stack depth; deeper frames fold into the
+	// deepest kept frame (weight is never dropped).
+	DefaultMaxDepth = 128
+	// DefaultCollapseFraction folds subtrees lighter than this fraction
+	// of the total weight into their parent's self time.
+	DefaultCollapseFraction = 0.001
+	// DefaultSectionName names the top-level Sec of imported trees.
+	DefaultSectionName = "imported"
+)
+
+// Options configures decoding and conversion. The zero value applies
+// the defaults above.
+type Options struct {
+	// SampleType selects the pprof value column by type name (e.g.
+	// "cpu", "samples", "alloc_space"). Empty prefers "cpu", then the
+	// profile's default_sample_type, then the last column. Ignored for
+	// folded stacks (which carry one weight per line).
+	SampleType string
+	// SectionName names the top-level Sec node (default "imported").
+	SectionName string
+	// CyclesPerUnit scales sample weight units to cycles (default 1:
+	// one weight unit becomes one cycle, which conserves total weight
+	// exactly; non-unit scales round per leaf).
+	CyclesPerUnit float64
+	// CollapseFraction is the leaf-collapse threshold: any stack-trie
+	// subtree whose total weight is below CollapseFraction of the whole
+	// profile folds into its parent's self time. 0 applies
+	// DefaultCollapseFraction; negative disables collapsing.
+	CollapseFraction float64
+	// MaxDepth caps stack depth (default DefaultMaxDepth); excess
+	// frames fold into the deepest kept frame.
+	MaxDepth int
+	// MaxBytes caps input size (default DefaultMaxBytes).
+	MaxBytes int64
+	// Metrics, when set, receives import counters (samples parsed,
+	// frames kept/dropped).
+	Metrics *obs.Registry
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.SectionName == "" {
+		out.SectionName = DefaultSectionName
+	}
+	if out.CyclesPerUnit == 0 {
+		out.CyclesPerUnit = 1
+	}
+	if out.CollapseFraction == 0 {
+		out.CollapseFraction = DefaultCollapseFraction
+	}
+	if out.MaxDepth <= 0 {
+		out.MaxDepth = DefaultMaxDepth
+	}
+	if out.MaxBytes <= 0 {
+		out.MaxBytes = DefaultMaxBytes
+	}
+	return out
+}
+
+// StackSample is one sampled call stack: frames ordered root-first
+// (outermost caller at index 0) and a non-negative weight in profile
+// units (nanoseconds, sample counts, bytes — whatever the capture
+// recorded).
+type StackSample struct {
+	Frames []string
+	Weight int64
+}
+
+// Stats reports what one import did.
+type Stats struct {
+	// Samples is the number of decoded samples with positive weight.
+	Samples int
+	// TotalWeight is their summed weight in profile units. With
+	// CyclesPerUnit == 1 the converted tree's TotalLen equals this
+	// exactly.
+	TotalWeight int64
+	// Frames is the stack-trie node count before collapsing.
+	Frames int
+	// FramesKept / FramesDropped split Frames after the leaf-collapse
+	// pass (dropped frames fold their weight into their parent).
+	FramesKept, FramesDropped int
+	// TruncatedStacks counts samples deeper than MaxDepth whose excess
+	// frames were folded into the deepest kept frame.
+	TruncatedStacks int
+	// SampleType is the value column used, as "type/unit" (pprof only).
+	SampleType string
+}
+
+// CollapseRatio is the fraction of trie frames removed by the
+// leaf-collapse pass.
+func (s Stats) CollapseRatio() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.FramesDropped) / float64(s.Frames)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d samples (weight %d, %s), frames %d -> %d (%.1f%% collapsed)",
+		s.Samples, s.TotalWeight, s.SampleType, s.Frames, s.FramesKept, 100*s.CollapseRatio())
+}
+
+// Result is an imported profile: the converted program tree (already
+// valid per tree.Validate) and the import statistics.
+type Result struct {
+	Tree  *tree.Node
+	Stats Stats
+}
+
+// FromPprof decodes a pprof protobuf profile (gzip-compressed or raw)
+// and converts it to a program tree.
+func FromPprof(data []byte, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	samples, sampleType, err := decodePprof(data, o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := convert(samples, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SampleType = sampleType
+	return res, nil
+}
+
+// FromFolded parses folded-stacks text ("frame;frame weight" lines) and
+// converts it to a program tree.
+func FromFolded(data []byte, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	samples, err := parseFolded(data, o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := convert(samples, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SampleType = "folded/weight"
+	return res, nil
+}

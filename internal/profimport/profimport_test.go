@@ -1,0 +1,298 @@
+package profimport
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/obs"
+	"prophet/internal/tree"
+)
+
+func readFixture(t testing.TB, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFromPprofSynthetic pins the full decode+convert path on the
+// synthetic fixture whose contents are known exactly.
+func TestFromPprofSynthetic(t *testing.T) {
+	res, err := FromPprof(readFixture(t, "small.pb.gz"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Samples != 8 {
+		t.Errorf("Samples = %d, want 8", st.Samples)
+	}
+	if st.TotalWeight != 10353 {
+		t.Errorf("TotalWeight = %d, want 10353", st.TotalWeight)
+	}
+	if st.SampleType != "cpu/nanoseconds" {
+		t.Errorf("SampleType = %q", st.SampleType)
+	}
+	// Weight conservation at the default 1:1 scale.
+	if got := int64(res.Tree.TotalLen()); got != st.TotalWeight {
+		t.Errorf("tree TotalLen = %d, want %d", got, st.TotalWeight)
+	}
+	// The "tiny" frame (weight 3 of 10353) is under the default 0.1%
+	// collapse threshold and must fold into kernelA's self time.
+	if strings.Contains(res.Tree.String(), "tiny") {
+		t.Errorf("tiny frame survived collapse:\n%s", res.Tree)
+	}
+	// 8 distinct frames in the trie (main, compute, kernelA, kernelB,
+	// io, read, runtime.gc, tiny); collapse removes tiny.
+	if st.FramesDropped != 1 || st.FramesKept != 7 {
+		t.Errorf("frames kept/dropped = %d/%d, want 7/1", st.FramesKept, st.FramesDropped)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromPprofRealCapture: the checked-in capture of this repo's own
+// tests (go test -cpuprofile) must decode, convert, validate and
+// conserve weight — the decoder's contract against real runtime output.
+func TestFromPprofRealCapture(t *testing.T) {
+	res, err := FromPprof(readFixture(t, "cpu.pb.gz"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples == 0 || res.Stats.TotalWeight == 0 {
+		t.Fatalf("empty stats from real capture: %+v", res.Stats)
+	}
+	if res.Stats.SampleType != "cpu/nanoseconds" {
+		t.Errorf("SampleType = %q, want cpu/nanoseconds", res.Stats.SampleType)
+	}
+	if got := int64(res.Tree.TotalLen()); got != res.Stats.TotalWeight {
+		t.Errorf("tree TotalLen = %d, want %d", got, res.Stats.TotalWeight)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A real Go capture stacks through testing.tRunner; the frame names
+	// must have survived symbolization.
+	if !strings.Contains(res.Tree.String(), "prophet/internal/compress") {
+		t.Errorf("expected compress frames in converted tree")
+	}
+}
+
+// TestFromFoldedFixture pins the folded parser on the text fixture and
+// the cross-format property: the folded fixture encodes the same call
+// tree as small.pb.gz, so both formats must convert to equal trees.
+func TestFromFoldedFixture(t *testing.T) {
+	folded, err := FromFolded(readFixture(t, "stacks.folded"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Stats.Samples != 7 || folded.Stats.TotalWeight != 10353 {
+		t.Errorf("stats = %+v", folded.Stats)
+	}
+	pprof, err := FromPprof(readFixture(t, "small.pb.gz"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(folded.Tree, pprof.Tree, 0) {
+		t.Errorf("folded and pprof forms of the same profile disagree:\n%s\nvs\n%s", folded.Tree, pprof.Tree)
+	}
+}
+
+// TestFoldedErrors is the folded parser's error table: every malformed
+// line is an ErrCorrupt naming its line number.
+func TestFoldedErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		wantLine string
+	}{
+		{"no weight", "mainonly\n", "line 1"},
+		{"bad weight", "main;foo twelve\n", "line 1"},
+		{"negative weight", "main;foo -4\n", "line 1"},
+		{"empty stack", "ok;path 5\n;; 5\n", "line 2"},
+		{"weight overflow", "main 99999999999999999999\n", "line 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := FromFolded([]byte(c.in), nil)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			if !strings.Contains(err.Error(), c.wantLine) {
+				t.Errorf("err %q does not name %s", err, c.wantLine)
+			}
+		})
+	}
+	// Comments, blank lines and CRLF are tolerated.
+	res, err := FromFolded([]byte("# header\r\n\r\nmain;f 7\r\n"), nil)
+	if err != nil || res.Stats.TotalWeight != 7 {
+		t.Fatalf("lenient parse: %v, %+v", err, res)
+	}
+}
+
+// TestPprofErrors is the decoder's error table over hostile inputs.
+func TestPprofErrors(t *testing.T) {
+	valid := EncodePprof([]StackSample{{Frames: []string{"f"}, Weight: 1}}, "cpu", "nanoseconds")
+	gz := GzipPprof(valid)
+	cases := []struct {
+		name string
+		in   []byte
+		opts *Options
+		want error
+	}{
+		{"empty input", nil, nil, ErrEmpty},
+		{"zero samples", EncodePprof(nil, "cpu", "nanoseconds"), nil, ErrEmpty},
+		{"truncated gzip", gz[:len(gz)-6], nil, ErrCorrupt},
+		{"gzip junk payload", GzipPprof([]byte("not a protobuf at all, definitely")), nil, ErrCorrupt},
+		{"raw junk", []byte{0xff, 0xff, 0xff, 0xff}, nil, ErrCorrupt},
+		{"raw over limit", valid, &Options{MaxBytes: 4}, ErrTooLarge},
+		// A 1 MiB zero payload gzips to ~1 KiB: the raw size passes the
+		// 64 KiB limit, the expansion must not.
+		{"bomb over limit", GzipPprof(make([]byte, 1<<20)), &Options{MaxBytes: 64 << 10}, ErrTooLarge},
+		{"unknown sample type", valid, &Options{SampleType: "alloc_space"}, ErrSampleType},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := FromPprof(c.in, c.opts)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestSampleTypeSelection: multi-column profiles pick cpu by default
+// and honour an explicit Options.SampleType.
+func TestSampleTypeSelection(t *testing.T) {
+	// Build a two-column profile by hand: [samples/count, cpu/nanoseconds].
+	var body bytes.Buffer
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "f"}
+	var vt1, vt2 bytes.Buffer
+	pbVarintField(&vt1, 1, 1) // samples
+	pbVarintField(&vt1, 2, 2) // count
+	pbBytesField(&body, 1, vt1.Bytes())
+	pbVarintField(&vt2, 1, 3) // cpu
+	pbVarintField(&vt2, 2, 4) // nanoseconds
+	pbBytesField(&body, 1, vt2.Bytes())
+	var sm, ids, vals bytes.Buffer
+	pbVarint(&ids, 1)
+	pbBytesField(&sm, 1, ids.Bytes())
+	pbVarint(&vals, 2)  // 2 samples
+	pbVarint(&vals, 50) // 50 ns
+	pbBytesField(&sm, 2, vals.Bytes())
+	pbBytesField(&body, 2, sm.Bytes())
+	var lm, ln, fm bytes.Buffer
+	pbVarintField(&lm, 1, 1)
+	pbVarintField(&ln, 1, 1)
+	pbBytesField(&lm, 4, ln.Bytes())
+	pbBytesField(&body, 4, lm.Bytes())
+	pbVarintField(&fm, 1, 1)
+	pbVarintField(&fm, 2, 5) // name "f"
+	pbBytesField(&body, 5, fm.Bytes())
+	for _, s := range strs {
+		pbBytesField(&body, 6, []byte(s))
+	}
+
+	res, err := FromPprof(body.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SampleType != "cpu/nanoseconds" || res.Stats.TotalWeight != 50 {
+		t.Errorf("default pick = %q weight %d, want cpu/nanoseconds 50", res.Stats.SampleType, res.Stats.TotalWeight)
+	}
+	res, err = FromPprof(body.Bytes(), &Options{SampleType: "samples"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SampleType != "samples/count" || res.Stats.TotalWeight != 2 {
+		t.Errorf("explicit pick = %q weight %d, want samples/count 2", res.Stats.SampleType, res.Stats.TotalWeight)
+	}
+}
+
+// TestDepthFold: stacks deeper than MaxDepth fold their excess into the
+// deepest kept frame without losing weight.
+func TestDepthFold(t *testing.T) {
+	frames := make([]string, 20)
+	for i := range frames {
+		frames[i] = strings.Repeat("f", i+1)
+	}
+	raw := EncodePprof([]StackSample{{Frames: frames, Weight: 100}}, "cpu", "nanoseconds")
+	res, err := FromPprof(raw, &Options{MaxDepth: 5, CollapseFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TruncatedStacks != 1 {
+		t.Errorf("TruncatedStacks = %d, want 1", res.Stats.TruncatedStacks)
+	}
+	if got := int64(res.Tree.TotalLen()); got != 100 {
+		t.Errorf("TotalLen = %d, want 100", got)
+	}
+	if res.Stats.FramesKept != 5 {
+		t.Errorf("FramesKept = %d, want 5", res.Stats.FramesKept)
+	}
+}
+
+// TestCollapseDisabled: negative CollapseFraction keeps every frame.
+func TestCollapseDisabled(t *testing.T) {
+	res, err := FromPprof(readFixture(t, "small.pb.gz"), &Options{CollapseFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FramesDropped != 0 || !strings.Contains(res.Tree.String(), "tiny") {
+		t.Errorf("collapse ran when disabled: %+v\n%s", res.Stats, res.Tree)
+	}
+}
+
+// TestImportMetrics: conversions feed the obs registry.
+func TestImportMetrics(t *testing.T) {
+	reg := &obs.Registry{}
+	res, err := FromPprof(readFixture(t, "small.pb.gz"), &Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.MImportSamples).Value(); got != int64(res.Stats.Samples) {
+		t.Errorf("%s = %d, want %d", obs.MImportSamples, got, res.Stats.Samples)
+	}
+	if got := reg.Counter(obs.MImportFramesDropped).Value(); got != int64(res.Stats.FramesDropped) {
+		t.Errorf("%s = %d, want %d", obs.MImportFramesDropped, got, res.Stats.FramesDropped)
+	}
+	if got := reg.Counter(obs.MImportRuns).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MImportRuns, got)
+	}
+}
+
+// TestCyclesPerUnitScale: non-unit scales multiply leaf lengths.
+func TestCyclesPerUnitScale(t *testing.T) {
+	raw := EncodePprof([]StackSample{{Frames: []string{"f"}, Weight: 10}}, "cpu", "nanoseconds")
+	res, err := FromPprof(raw, &Options{CyclesPerUnit: 2.27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(res.Tree.TotalLen()); got != 23 { // round(10*2.27)
+		t.Errorf("TotalLen = %d, want 23", got)
+	}
+}
+
+// TestEmptyStacksBecomeSerialTime: samples with no frames land as a
+// top-level U (serial computation outside any section).
+func TestEmptyStacksBecomeSerialTime(t *testing.T) {
+	raw := EncodePprof([]StackSample{
+		{Frames: nil, Weight: 40},
+		{Frames: []string{"f"}, Weight: 60},
+	}, "cpu", "nanoseconds")
+	res, err := FromPprof(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(res.Tree.SerialOutsideSections()); got != 40 {
+		t.Errorf("SerialOutsideSections = %d, want 40", got)
+	}
+	if got := int64(res.Tree.TotalLen()); got != 100 {
+		t.Errorf("TotalLen = %d, want 100", got)
+	}
+}

@@ -1,0 +1,149 @@
+package profimport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prophet/internal/tree"
+)
+
+// randomSamples generates a seeded random workload of stacks drawn from
+// a small frame alphabet, so paths collide and the trie gets real
+// sharing.
+func randomSamples(r *rand.Rand, n int) []StackSample {
+	alphabet := []string{"main", "run", "parse", "emit", "gc", "alloc", "hash", "walk"}
+	out := make([]StackSample, n)
+	for i := range out {
+		depth := 1 + r.Intn(6)
+		frames := make([]string, depth)
+		for j := range frames {
+			frames[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		out[i] = StackSample{Frames: frames, Weight: 1 + int64(r.Intn(10000))}
+	}
+	return out
+}
+
+// TestPropertyWeightConservation: for random inputs at the default 1:1
+// scale, the converted tree's total length equals the total sample
+// weight — with and without collapsing, at any depth cap. Nothing the
+// importer drops may lose weight.
+func TestPropertyWeightConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		samples := randomSamples(r, 1+r.Intn(80))
+		var want int64
+		for _, s := range samples {
+			want += s.Weight
+		}
+		opts := &Options{
+			CollapseFraction: []float64{-1, 0.001, 0.05, 0.3}[r.Intn(4)],
+			MaxDepth:         1 + r.Intn(8),
+		}
+		res, err := convert(samples, opts.withDefaults())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := int64(res.Tree.TotalLen()); got != want {
+			t.Fatalf("trial %d (collapse=%g depth=%d): TotalLen = %d, want %d",
+				trial, opts.CollapseFraction, opts.MaxDepth, got, want)
+		}
+		if err := res.Tree.Validate(); err != nil {
+			t.Fatalf("trial %d: converted tree invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestPropertyDeterministic: identical input converts to byte-identical
+// JSON regardless of sample order (trie construction and child sorting
+// must not leak map iteration order).
+func TestPropertyDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		samples := randomSamples(r, 1+r.Intn(60))
+		res1, err := convert(samples, (&Options{}).withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shuffled := make([]StackSample, len(samples))
+		copy(shuffled, samples)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		res2, err := convert(shuffled, (&Options{}).withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j1, _ := json.Marshal(res1.Tree)
+		j2, _ := json.Marshal(res2.Tree)
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("trial %d: conversion depends on sample order:\n%s\nvs\n%s", trial, j1, j2)
+		}
+		if res1.Stats != res2.Stats {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, res1.Stats, res2.Stats)
+		}
+	}
+}
+
+// TestPropertyEncodeDecodeRoundTrip: EncodePprof and decodePprof are
+// inverses over the stack/weight content (zero-weight samples excepted
+// — the decoder drops them by contract).
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		in := randomSamples(r, 1+r.Intn(40))
+		for _, gzipped := range []bool{false, true} {
+			raw := EncodePprof(in, "cpu", "nanoseconds")
+			if gzipped {
+				raw = GzipPprof(raw)
+			}
+			got, typ, err := decodePprof(raw, (&Options{}).withDefaults())
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if typ != "cpu/nanoseconds" {
+				t.Fatalf("trial %d: type = %q", trial, typ)
+			}
+			if len(got) != len(in) {
+				t.Fatalf("trial %d: %d samples back, want %d", trial, len(got), len(in))
+			}
+			for i := range in {
+				if !reflect.DeepEqual(got[i].Frames, in[i].Frames) || got[i].Weight != in[i].Weight {
+					t.Fatalf("trial %d sample %d: %+v != %+v", trial, i, got[i], in[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyFoldedPprofAgree: the same stacks expressed in both
+// capture formats convert to structurally equal trees.
+func TestPropertyFoldedPprofAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		samples := randomSamples(r, 1+r.Intn(40))
+		var folded bytes.Buffer
+		for _, s := range samples {
+			for i, f := range s.Frames {
+				if i > 0 {
+					folded.WriteByte(';')
+				}
+				folded.WriteString(f)
+			}
+			fmt.Fprintf(&folded, " %d\n", s.Weight)
+		}
+		fromFolded, err := FromFolded(folded.Bytes(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromPprof, err := FromPprof(EncodePprof(samples, "cpu", "nanoseconds"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(fromFolded.Tree, fromPprof.Tree, 0) {
+			t.Fatalf("trial %d: formats disagree:\n%s\nvs\n%s", trial, fromFolded.Tree, fromPprof.Tree)
+		}
+	}
+}

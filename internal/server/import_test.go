@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"prophet"
+	"prophet/internal/obs"
+	"prophet/internal/profimport"
+)
+
+func readProfileFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "profimport", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// postProfile uploads raw profile bytes to POST /v1/workloads.
+func postProfile(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// tinyProfile builds a small valid gzipped pprof profile.
+func tinyProfile() []byte {
+	return profimport.GzipPprof(profimport.EncodePprof([]profimport.StackSample{
+		{Frames: []string{"main", "work"}, Weight: 700},
+		{Frames: []string{"main", "io"}, Weight: 300},
+	}, "cpu", "nanoseconds"))
+}
+
+// TestImportWorkloadEndToEnd is the acceptance path: the checked-in
+// pprof fixture uploads via POST /v1/workloads, converts to the SAME
+// tree the CLI import path produces (pinned through the stable-JSON
+// tree hash), and the registered workload then serves /v1/predict and
+// /v1/sweep like a built-in.
+func TestImportWorkloadEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableMemoryModel: true})
+	data := readProfileFixture(t, "cpu.pb.gz")
+
+	// The workload name doubles as the tree's section name; "imported"
+	// is profimport's default, so the CLI path (which passes no name)
+	// must produce a byte-identical tree.
+	status, body := postProfile(t, ts.URL+"/v1/workloads?name=imported", data)
+	if status != http.StatusCreated {
+		t.Fatalf("import: status %d: %s", status, body)
+	}
+	var ir importResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("import response: %v\n%s", err, body)
+	}
+	if ir.Name != "imported" || ir.TreeHash == "" {
+		t.Errorf("import response missing identity: %+v", ir)
+	}
+	if ir.Stats.Samples == 0 || ir.Stats.TotalWeight == 0 || ir.Stats.SampleType == "" {
+		t.Errorf("import stats empty: %+v", ir.Stats)
+	}
+
+	// Replay the CLI import path (defaults only) and profile identically:
+	// the hashes agree iff the trees' stable JSON forms are byte-equal.
+	res, err := profimport.FromPprof(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples != ir.Stats.Samples {
+		t.Errorf("server imported %d samples, CLI path %d", ir.Stats.Samples, res.Stats.Samples)
+	}
+	prof, err := prophet.ProfileTreeCtx(context.Background(), res.Tree, &prophet.Options{
+		ThreadCounts:       []int{2, 4},
+		DisableMemoryModel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash, err := hashTree(prof.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.TreeHash != wantHash {
+		t.Errorf("server tree hash %s != CLI-path tree hash %s (trees not byte-identical)", ir.TreeHash, wantHash)
+	}
+
+	// The imported workload serves predictions.
+	status, body = postJSON(t, ts.URL+"/v1/predict", predictRequest{
+		Workload: "imported",
+		Request:  prophet.Request{Method: prophet.FastForward, Threads: 4, Paradigm: prophet.OpenMP, Sched: prophet.Static},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("predict on imported: status %d: %s", status, body)
+	}
+	var est prophet.Estimate
+	if err := json.Unmarshal(body, &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Err != nil || est.Speedup <= 0 {
+		t.Errorf("predict on imported: speedup %v err %v", est.Speedup, est.Err)
+	}
+
+	// And sweeps, through the same grid machinery.
+	status, body = postJSON(t, ts.URL+"/v1/sweep", sweepRequest{Workload: "imported", Cores: []int{2, 4}})
+	if status != http.StatusOK {
+		t.Fatalf("sweep on imported: status %d: %s", status, body)
+	}
+	var sr sweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cells != 2 || len(sr.Outcomes) != 2 {
+		t.Fatalf("sweep on imported: %d cells, %d outcomes", sr.Cells, len(sr.Outcomes))
+	}
+	for _, o := range sr.Outcomes {
+		if o.Err != nil || o.Value.Err != nil {
+			t.Errorf("sweep outcome %d failed: %v %v", o.Index, o.Err, o.Value.Err)
+		}
+	}
+
+	// GET lists configured workloads first, imported after.
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []workloadInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Name != "NPB-EP" || list[1].Name != "imported" {
+		t.Errorf("workload list = %+v", list)
+	}
+	if got := counterValue(t, s, obs.MServerImports); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MServerImports, got)
+	}
+}
+
+// TestImportWorkloadErrors drives every rejection path of the upload
+// endpoint and checks each is a structured 4xx (never a 500), that the
+// bad-request counter moves, and that error handling leaks no
+// goroutines.
+func TestImportWorkloadErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableMemoryModel: true, MaxImportBytes: 64 << 10})
+
+	// Occupy a name for the duplicate cases.
+	if status, body := postProfile(t, ts.URL+"/v1/workloads?name=taken", tinyProfile()); status != http.StatusCreated {
+		t.Fatalf("seed import: status %d: %s", status, body)
+	}
+
+	truncated := readProfileFixture(t, "cpu.pb.gz")[:40]
+	cases := []struct {
+		name       string
+		query      string
+		body       []byte
+		wantStatus int
+		wantMsg    string
+	}{
+		{"missing name", "", tinyProfile(), http.StatusBadRequest, "name"},
+		{"invalid name", "?name=no/slashes", tinyProfile(), http.StatusBadRequest, "name"},
+		{"overlong name", "?name=" + strings.Repeat("x", 65), tinyProfile(), http.StatusBadRequest, "name"},
+		{"bad format", "?name=w1&format=perf", tinyProfile(), http.StatusBadRequest, "format"},
+		{"bad collapse", "?name=w1&collapse=1.5", tinyProfile(), http.StatusBadRequest, "collapse"},
+		{"duplicate of configured workload", "?name=NPB-EP", tinyProfile(), http.StatusConflict, "already exists"},
+		{"duplicate of imported workload", "?name=taken", tinyProfile(), http.StatusConflict, "already exists"},
+		{"oversized upload", "?name=w1", make([]byte, 128<<10), http.StatusRequestEntityTooLarge, "upload limit"},
+		{"gzip bomb over expansion limit", "?name=w1", profimport.GzipPprof(make([]byte, 1<<20)), http.StatusRequestEntityTooLarge, "size limit"},
+		{"truncated gzip", "?name=w1", truncated, http.StatusBadRequest, "malformed profile"},
+		{"non-protobuf junk as pprof", "?name=w1&format=pprof", []byte{0x01, 0x02, 0xff, 0xfe}, http.StatusBadRequest, "malformed profile"},
+		{"folded junk", "?name=w1&format=folded", []byte("stack;frames notanumber\n"), http.StatusBadRequest, "malformed profile"},
+		{"empty profile", "?name=w1", profimport.GzipPprof(profimport.EncodePprof(nil, "cpu", "nanoseconds")), http.StatusBadRequest, "no samples"},
+		{"unknown sample type", "?name=w1&sample_type=alloc_space", tinyProfile(), http.StatusBadRequest, "sample type"},
+	}
+
+	before := runtime.NumGoroutine()
+	badBefore := counterValue(t, s, obs.MServerBadRequests)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := postProfile(t, ts.URL+"/v1/workloads"+c.query, c.body)
+			if status != c.wantStatus {
+				t.Fatalf("status = %d, want %d; body: %s", status, c.wantStatus, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body not structured JSON: %v\n%s", err, body)
+			}
+			if !strings.Contains(er.Error, c.wantMsg) {
+				t.Errorf("error %q does not mention %q", er.Error, c.wantMsg)
+			}
+		})
+	}
+	if badAfter := counterValue(t, s, obs.MServerBadRequests); badAfter-badBefore != int64(len(cases)) {
+		t.Errorf("%s moved by %d, want %d", obs.MServerBadRequests, badAfter-badBefore, len(cases))
+	}
+	if got := counterValue(t, s, obs.MServerImports); got != 1 {
+		t.Errorf("%s = %d after error storm, want 1 (the seed)", obs.MServerImports, got)
+	}
+
+	// None of the rejected uploads may leave a goroutine behind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines grew %d -> %d after error paths\n%s",
+				before, after, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A method other than GET/POST is a 405 with Allow.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workloads", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") == "" {
+		t.Errorf("DELETE: status %d Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestImportDisabled pins the negative MaxImportBytes contract.
+func TestImportDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableMemoryModel: true, MaxImportBytes: -1})
+	status, body := postProfile(t, ts.URL+"/v1/workloads?name=w1", tinyProfile())
+	if status != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403; body: %s", status, body)
+	}
+	// GET still works with uploads disabled.
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET with uploads disabled: status %d", resp.StatusCode)
+	}
+}
+
+// TestImportFoldedAutoDetect checks the format sniffer: the same stacks
+// uploaded as folded text (no format param) and as pprof protobuf
+// register trees with the same hash.
+func TestImportFoldedAutoDetect(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableMemoryModel: true})
+	samples := []profimport.StackSample{
+		{Frames: []string{"main", "work"}, Weight: 700},
+		{Frames: []string{"main", "io"}, Weight: 300},
+	}
+	var folded bytes.Buffer
+	for _, smp := range samples {
+		fmt.Fprintf(&folded, "%s %d\n", strings.Join(smp.Frames, ";"), smp.Weight)
+	}
+
+	status, body := postProfile(t, ts.URL+"/v1/workloads?name=as.folded", folded.Bytes())
+	if status != http.StatusCreated {
+		t.Fatalf("folded import: status %d: %s", status, body)
+	}
+	var foldedResp importResponse
+	if err := json.Unmarshal(body, &foldedResp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(foldedResp.Desc, "folded") {
+		t.Errorf("folded upload not sniffed as folded: %q", foldedResp.Desc)
+	}
+
+	status, body = postProfile(t, ts.URL+"/v1/workloads?name=as.pprof",
+		profimport.GzipPprof(profimport.EncodePprof(samples, "cpu", "nanoseconds")))
+	if status != http.StatusCreated {
+		t.Fatalf("pprof import: status %d: %s", status, body)
+	}
+	var pprofResp importResponse
+	if err := json.Unmarshal(body, &pprofResp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different section names (the workload names) mean different trees;
+	// compare the stats instead, which identify the same sample set.
+	if foldedResp.Stats.TotalWeight != pprofResp.Stats.TotalWeight ||
+		foldedResp.Stats.Samples != pprofResp.Stats.Samples {
+		t.Errorf("folded stats %+v != pprof stats %+v", foldedResp.Stats, pprofResp.Stats)
+	}
+}

@@ -16,18 +16,18 @@
 //     sweep.RunCtx batches on one bounded worker pool.
 //
 // Endpoints: POST /v1/predict, POST /v1/sweep, GET /v1/workloads,
+// POST /v1/workloads (upload an execution profile as a new workload),
 // GET /healthz, GET /readyz, GET /metrics.
 package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -76,6 +76,11 @@ type Config struct {
 	// shorten it.
 	RequestTimeout time.Duration
 
+	// MaxImportBytes caps the request body of POST /v1/workloads —
+	// both the upload itself and the gzip-expanded profile inside it
+	// (0 = 8 MiB; negative disables profile uploads entirely).
+	MaxImportBytes int64
+
 	// Metrics receives server and pipeline metrics (nil = a fresh
 	// registry, exposed at /metrics either way).
 	Metrics *obs.Registry
@@ -109,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.MaxImportBytes == 0 {
+		c.MaxImportBytes = 8 << 20
+	}
 	if c.Metrics == nil {
 		c.Metrics = &obs.Registry{}
 	}
@@ -134,7 +142,12 @@ type Server struct {
 	metrics *obs.Registry
 	mux     *http.ServeMux
 
-	entries map[string]*workloadEntry
+	// entriesMu guards entries and imported: Load writes the configured
+	// set before the server goes ready, but POST /v1/workloads mutates
+	// both while traffic is live.
+	entriesMu sync.RWMutex
+	entries   map[string]*workloadEntry
+	imported  []string // names registered via POST, in arrival order
 
 	readyMu sync.RWMutex
 	ready   bool
@@ -152,8 +165,8 @@ type Server struct {
 
 	httpSrv *http.Server
 
-	predicts, sweeps, rejected, badReqs *obs.Counter
-	predictLat, sweepLat                *obs.Histogram
+	predicts, sweeps, rejected, badReqs, imports *obs.Counter
+	predictLat, sweepLat                         *obs.Histogram
 
 	// testHook, when set, runs after admission and before the estimate
 	// (tests use it to hold requests in flight deterministically).
@@ -179,6 +192,7 @@ func New(cfg Config) *Server {
 		sweeps:     reg.Counter(obs.MServerSweeps),
 		rejected:   reg.Counter(obs.MServerRejected),
 		badReqs:    reg.Counter(obs.MServerBadRequests),
+		imports:    reg.Counter(obs.MServerImports),
 		predictLat: reg.Histogram(obs.MServerPredictLatency),
 		sweepLat:   reg.Histogram(obs.MServerSweepLatency),
 	}
@@ -210,20 +224,21 @@ func (s *Server) Load(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("server: load %s: %w", name, err)
 		}
-		treeJSON, err := json.Marshal(prof.Tree)
+		hash, err := hashTree(prof.Tree)
 		if err != nil {
 			return fmt.Errorf("server: hash %s tree: %w", name, err)
 		}
-		sum := sha256.Sum256(treeJSON)
+		s.entriesMu.Lock()
 		s.entries[name] = &workloadEntry{
 			name:         name,
 			desc:         w.Desc,
 			prof:         prof,
-			treeHash:     hex.EncodeToString(sum[:8]),
+			treeHash:     hash,
 			paradigm:     w.Paradigm,
 			sched:        w.Sched,
 			threadCounts: s.cfg.Cores,
 		}
+		s.entriesMu.Unlock()
 	}
 	s.readyMu.Lock()
 	s.ready = true
@@ -473,6 +488,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleWorkloadImport(w, r)
+		return
+	case http.MethodGet:
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET to list workloads or POST to import a profile")
+		return
+	}
 	s.readyMu.RLock()
 	ready := s.ready
 	s.readyMu.RUnlock()
@@ -480,17 +505,19 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is still loading workload profiles")
 		return
 	}
+	// Configured workloads first, in config order; imported ones after,
+	// sorted by name so the listing is deterministic.
+	s.entriesMu.RLock()
 	out := make([]workloadInfo, 0, len(s.entries))
 	for _, name := range s.cfg.Workloads {
-		e := s.entries[name]
-		out = append(out, workloadInfo{
-			Name:     e.name,
-			Desc:     e.desc,
-			Paradigm: e.paradigm.String(),
-			Sched:    e.sched.String(),
-			TreeHash: e.treeHash,
-		})
+		out = append(out, infoFor(s.entries[name]))
 	}
+	imported := append([]string(nil), s.imported...)
+	sort.Strings(imported)
+	for _, name := range imported {
+		out = append(out, infoFor(s.entries[name]))
+	}
+	s.entriesMu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -539,7 +566,9 @@ func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadEntry, boo
 		writeError(w, http.StatusServiceUnavailable, "server is still loading workload profiles")
 		return nil, false
 	}
+	s.entriesMu.RLock()
 	entry, ok := s.entries[name]
+	s.entriesMu.RUnlock()
 	if !ok {
 		s.badReqs.Inc()
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q (GET /v1/workloads lists them)", name))

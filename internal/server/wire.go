@@ -73,6 +73,27 @@ type workloadInfo struct {
 	TreeHash string `json:"tree_hash"`
 }
 
+// importStats is the conversion accounting of one profile upload, the
+// wire form of profimport.Stats.
+type importStats struct {
+	Samples         int     `json:"samples"`
+	TotalWeight     int64   `json:"total_weight"`
+	Frames          int     `json:"frames"`
+	FramesKept      int     `json:"frames_kept"`
+	FramesDropped   int     `json:"frames_dropped"`
+	TruncatedStacks int     `json:"truncated_stacks"`
+	SampleType      string  `json:"sample_type"`
+	CollapseRatio   float64 `json:"collapse_ratio"`
+}
+
+// importResponse is the 201 body of POST /v1/workloads: the registered
+// workload exactly as GET /v1/workloads will list it, plus what the
+// converter did to the samples.
+type importResponse struct {
+	workloadInfo
+	Stats importStats `json:"import"`
+}
+
 // Grid construction limits: a request can ask for a big sweep, not an
 // unbounded one — the admission layer protects the pool, these protect
 // the expander.
