@@ -10,7 +10,10 @@
 //	prophetd [-addr :8057] [-bench all | MD-OMP,NPB-FT] [-cores 2,4,6,8,10,12]
 //	         [-workers N] [-max-inflight M] [-cache 4096] [-no-mem]
 //	         [-request-timeout 30s] [-drain 15s]
-//	prophetd loadgen [-addr http://127.0.0.1:8057] ...   (see loadgen.go)
+//	prophetd -cluster -peers http://h1:8057,http://h2:8057 [-self URL]
+//	         [-replicas 2] [-hedge-after 30ms] [-retries 1]
+//	         [-probe-interval 1s] [-breaker-failures 3] [-breaker-cooldown 2s]
+//	prophetd loadgen [-addr http://127.0.0.1:8057 | -addrs URL,URL,...]   (see loadgen.go)
 //
 // Endpoints:
 //
@@ -33,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"prophet"
+	"prophet/internal/cluster"
 	"prophet/internal/server"
 	"prophet/internal/workloads"
 )
@@ -69,6 +74,16 @@ func serveMain(args []string) int {
 		batchWindow = fs.Duration("batch-window", 500*time.Microsecond, "linger to coalesce concurrent cells into one batch")
 		maxBatch    = fs.Int("max-batch", 64, "max cells per coalesced batch")
 		maxImport   = fs.Int64("max-import-bytes", 8<<20, "profile-upload size cap for POST /v1/workloads (negative disables uploads)")
+
+		clusterMode    = fs.Bool("cluster", false, "serve as one replica of a fleet: route cells by consistent hash across -peers")
+		peersFlag      = fs.String("peers", "", "comma-separated base URLs of every replica (this one is added if missing)")
+		selfFlag       = fs.String("self", "", "this replica's advertised base URL (default http://127.0.0.1<-addr port>)")
+		replicas       = fs.Int("replicas", 2, "ring owners per cell: the primary plus failover/hedge targets")
+		hedgeAfter     = fs.Duration("hedge-after", 30*time.Millisecond, "latency budget before a forwarded cell is hedged to the next owner (negative disables)")
+		clusterRetries = fs.Int("retries", 1, "transient-failure retries per peer before failing over (negative disables)")
+		probeInterval  = fs.Duration("probe-interval", time.Second, "peer health-probe period feeding the circuit breakers (negative disables)")
+		breakerFails   = fs.Int("breaker-failures", 3, "consecutive failures that open a peer's circuit")
+		breakerCool    = fs.Duration("breaker-cooldown", 2*time.Second, "open-circuit wait before a half-open trial")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,6 +116,48 @@ func serveMain(args []string) int {
 			return 2
 		}
 		cfg.Cores = cores
+	}
+	if *clusterMode {
+		self := *selfFlag
+		if self == "" {
+			// Advertise the listen port on loopback — the single-machine
+			// fleet default; multi-host fleets must pass -self.
+			_, port, err := net.SplitHostPort(*addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prophetd: -cluster needs -self when -addr (%q) has no port\n", *addr)
+				return 2
+			}
+			self = "http://127.0.0.1:" + port
+		}
+		self = cluster.NormalizeAddr(self)
+		peers := []string{}
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, cluster.NormalizeAddr(p))
+			}
+		}
+		hasSelf := false
+		for _, p := range peers {
+			hasSelf = hasSelf || p == self
+		}
+		if !hasSelf {
+			peers = append(peers, self)
+		}
+		if len(peers) < 2 {
+			fmt.Fprintln(os.Stderr, "prophetd: -cluster needs at least one other replica in -peers")
+			return 2
+		}
+		cfg.Cluster = &cluster.Config{
+			Self:            self,
+			Peers:           peers,
+			OwnersPerCell:   *replicas,
+			HedgeAfter:      *hedgeAfter,
+			Retries:         *clusterRetries,
+			ProbeInterval:   *probeInterval,
+			BreakerFailures: *breakerFails,
+			BreakerCooldown: *breakerCool,
+		}
+		log.Printf("cluster mode: self=%s fleet=%v owners/cell=%d", self, peers, *replicas)
 	}
 
 	srv := server.New(cfg)

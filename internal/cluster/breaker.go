@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+// breakerState is the classic three-state circuit: closed passes
+// traffic, open refuses it, half-open admits one trial request whose
+// outcome decides between the two.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the per-peer circuit breaker. Request attempts and health
+// probes both feed it: failures accumulate while closed and trip it
+// open at the threshold; after the cooldown the next caller is admitted
+// as the half-open trial, and its outcome either closes the circuit or
+// re-opens it for another cooldown.
+type breaker struct {
+	mu          sync.Mutex
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	trialBusy   bool // half-open: one trial in flight at a time
+
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	opened, halfOpened, closed *obs.Counter
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, reg *obs.Registry) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		threshold:  threshold,
+		cooldown:   cooldown,
+		now:        now,
+		opened:     reg.Counter(obs.MClusterBreakerOpened),
+		halfOpened: reg.Counter(obs.MClusterBreakerHalfOpen),
+		closed:     reg.Counter(obs.MClusterBreakerClosed),
+	}
+}
+
+// allow reports whether a request may be sent to the peer now. In the
+// half-open state only one trial is admitted; callers refused here
+// should fail over to the next ring owner.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialBusy = true
+		b.halfOpened.Inc()
+		return true
+	default: // half-open
+		if b.trialBusy {
+			return false
+		}
+		b.trialBusy = true
+		return true
+	}
+}
+
+// onSuccess records a successful attempt: a half-open trial (or any
+// success while open, e.g. a probe racing the cooldown) closes the
+// circuit; successes while closed reset the failure run.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.closed.Inc()
+	}
+	b.consecFails = 0
+	b.trialBusy = false
+}
+
+// onFailure records a failed attempt: a half-open trial re-opens the
+// circuit immediately, and a run of threshold failures trips a closed
+// one.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trialBusy = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.opened.Inc()
+	case breakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.opened.Inc()
+		}
+	case breakerOpen:
+		// Already open: push the cooldown out so a flapping peer does
+		// not get a trial on every failure.
+		b.openedAt = b.now()
+	}
+}
+
+// currentState returns the state for tests and status reporting.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

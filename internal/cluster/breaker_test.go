@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+// fakeClock is a hand-advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time { return f.t }
+
+func TestBreakerLifecycle(t *testing.T) {
+	reg := &obs.Registry{}
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now, reg)
+
+	// Closed passes traffic; failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.onFailure()
+	}
+	if s := b.currentState(); s != breakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", s)
+	}
+	// Third consecutive failure trips it.
+	b.allow()
+	b.onFailure()
+	if s := b.currentState(); s != breakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", s)
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed traffic before the cooldown")
+	}
+
+	// After the cooldown the next caller is the half-open trial; a
+	// second concurrent caller is refused.
+	clk.t = clk.t.Add(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open trial after the cooldown")
+	}
+	if s := b.currentState(); s != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", s)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Trial fails: straight back to open, cooldown restarted.
+	b.onFailure()
+	if s := b.currentState(); s != breakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", s)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed traffic immediately")
+	}
+
+	// Second trial succeeds: closed, traffic flows again.
+	clk.t = clk.t.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the second trial")
+	}
+	b.onSuccess()
+	if s := b.currentState(); s != breakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", s)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	b.onSuccess()
+
+	// A success between failures resets the consecutive count.
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if s := b.currentState(); s != breakerClosed {
+		t.Fatalf("state = %v, want closed (success reset the failure run)", s)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MClusterBreakerOpened] != 2 {
+		t.Errorf("%s = %d, want 2", obs.MClusterBreakerOpened, snap.Counters[obs.MClusterBreakerOpened])
+	}
+	if snap.Counters[obs.MClusterBreakerHalfOpen] != 2 {
+		t.Errorf("%s = %d, want 2", obs.MClusterBreakerHalfOpen, snap.Counters[obs.MClusterBreakerHalfOpen])
+	}
+	if snap.Counters[obs.MClusterBreakerClosed] != 1 {
+		t.Errorf("%s = %d, want 1", obs.MClusterBreakerClosed, snap.Counters[obs.MClusterBreakerClosed])
+	}
+}
+
+// TestBreakerProbeRecovery: a probe success while the circuit is open
+// closes it directly (the self-healing path: the prober notices the
+// replica is back before any live request is risked).
+func TestBreakerProbeRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	b := newBreaker(1, time.Hour, clk.now, &obs.Registry{})
+	b.onFailure()
+	if b.currentState() != breakerOpen || b.allow() {
+		t.Fatal("breaker should be open and refusing")
+	}
+	b.onSuccess() // probe saw /readyz 200
+	if b.currentState() != breakerClosed || !b.allow() {
+		t.Fatal("probe success should close the breaker immediately")
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"net/url"
+	"testing"
+	"time"
+
+	"prophet"
+	"prophet/internal/faults"
+	"prophet/internal/obs"
+)
+
+// TestClientSurvivesChaoticPrimary drives the cluster client through the
+// faults.ChaosProxy: the primary owner sits behind a proxy that drops
+// every connection, so each forward attempt dies at the transport layer
+// and the client must retry, trip the move to the secondary owner, and
+// still return the right answer with zero caller-visible errors.
+func TestClientSurvivesChaoticPrimary(t *testing.T) {
+	primary := newStubPeer(t, 1)
+	secondary := newStubPeer(t, 6)
+
+	host := func(raw string) string {
+		u, err := url.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u.Host
+	}
+	proxy, err := faults.NewChaosProxy(host(primary.url()), faults.NetConfig{Seed: 42, DropEveryN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	chaoticPrimary := "http://" + proxy.Addr()
+
+	c, reg := newTestClient(t, Config{
+		Self:          "http://self.invalid:1",
+		Peers:         []string{"http://self.invalid:1", chaoticPrimary, secondary.url()},
+		OwnersPerCell: 3,
+		Retries:       1,
+		RetryBase:     time.Millisecond,
+		RetryMax:      2 * time.Millisecond,
+	})
+	key := keyFor(t, c, chaoticPrimary)
+
+	est, err := c.Estimate(context.Background(), key, "W", prophet.Request{Threads: 2})
+	if err != nil || est.Speedup != 6 {
+		t.Fatalf("cell behind chaotic primary: est=%+v err=%v", est, err)
+	}
+	if s := proxy.Stats(); s.Conns == 0 || s.Dropped != s.Conns {
+		t.Errorf("proxy stats = %+v, want every connection dropped", s)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MClusterRetries] == 0 {
+		t.Errorf("%s = 0, want retries against the dropping proxy", obs.MClusterRetries)
+	}
+	if snap.Counters[obs.MClusterFailovers] != 1 {
+		t.Errorf("%s = %d, want 1", obs.MClusterFailovers, snap.Counters[obs.MClusterFailovers])
+	}
+	if primary.calls.Load() != 0 {
+		t.Errorf("primary behind the proxy saw %d calls, want 0 (all dropped)", primary.calls.Load())
+	}
+}
+
+// TestClientTruncatedBodyIsTransient: a response cut mid-body decodes
+// badly and must be treated as a transient transport failure (retry /
+// failover), never surfaced as a success or a peer-refusal.
+func TestClientTruncatedBodyIsTransient(t *testing.T) {
+	primary := newStubPeer(t, 1)
+	secondary := newStubPeer(t, 8)
+
+	u, err := url.Parse(primary.url())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the HTTP headers (plus a sliver of body) through, then cut: the
+	// client sees status 200 with a JSON document that ends mid-token.
+	proxy, err := faults.NewChaosProxy(u.Host, faults.NetConfig{Seed: 9, TruncateEveryN: 1, FaultAfterBytes: 140})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	chaotic := "http://" + proxy.Addr()
+
+	c, reg := newTestClient(t, Config{
+		Self:          "http://self.invalid:1",
+		Peers:         []string{"http://self.invalid:1", chaotic, secondary.url()},
+		OwnersPerCell: 3,
+		Retries:       0,
+	})
+	key := keyFor(t, c, chaotic)
+
+	est, err := c.Estimate(context.Background(), key, "W", prophet.Request{Threads: 2})
+	if err != nil || est.Speedup != 8 {
+		t.Fatalf("cell behind truncating proxy: est=%+v err=%v", est, err)
+	}
+	if s := proxy.Stats(); s.Truncated == 0 {
+		t.Fatalf("proxy stats = %+v, want at least one truncation", s)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MClusterForwardErrors] == 0 {
+		t.Errorf("%s = 0, want the truncated body counted as a forward error", obs.MClusterForwardErrors)
+	}
+	if snap.Counters[obs.MClusterFailovers] != 1 {
+		t.Errorf("%s = %d, want 1", obs.MClusterFailovers, snap.Counters[obs.MClusterFailovers])
+	}
+}

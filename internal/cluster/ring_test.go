@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(peers, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		owners := r.owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("owners(%q) = %v, want 2 distinct peers", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("owners(%q) repeated a peer: %v", key, owners)
+		}
+		again := r.owners(key, 2)
+		if owners[0] != again[0] || owners[1] != again[1] {
+			t.Fatalf("owners(%q) not deterministic: %v vs %v", key, owners, again)
+		}
+	}
+	// n beyond the peer count clamps.
+	if got := r.owners("k", 99); len(got) != 3 {
+		t.Errorf("owners clamp: got %d peers, want 3", len(got))
+	}
+}
+
+// TestRingSpreadsAndBalances checks that a ring with enough virtual
+// nodes gives every peer a meaningful share of primaries — the property
+// that makes a scattered sweep actually use the fleet.
+func TestRingSpreadsAndBalances(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(peers, 64)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owners(fmt.Sprintf("cell-%d", i), 1)[0]]++
+	}
+	for _, p := range peers {
+		if counts[p] < n/10 {
+			t.Errorf("peer %s owns only %d/%d primaries — ring badly unbalanced", p, counts[p], n)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one peer must only remap keys that
+// peer owned; every other key keeps its primary. This is the property
+// that keeps the surviving replicas' caches hot through a crash.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	without := newRing([]string{"http://a:1", "http://c:1"}, 64)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before := full.owners(key, 1)[0]
+		after := without.owners(key, 1)[0]
+		if before == "http://b:1" {
+			moved++
+			continue // had to move
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %s to %s although its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("no key was owned by the removed peer — ring test is vacuous")
+	}
+}
+
+func TestRingOrderIndependent(t *testing.T) {
+	a := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 32)
+	b := newRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		if a.owners(key, 2)[0] != b.owners(key, 2)[0] {
+			t.Fatalf("rings built from permuted peer lists disagree on %q", key)
+		}
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8057":         "http://127.0.0.1:8057",
+		"http://host:1/":         "http://host:1",
+		" https://host:2/base/ ": "https://host:2/base",
+		"":                       "",
+	}
+	for in, want := range cases {
+		if got := NormalizeAddr(in); got != want {
+			t.Errorf("NormalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The network-layer extension of the harness: a chaos proxy that sits
+// between a cluster client and one replica and injects the failures a
+// fleet actually sees — connections refused, added latency, TCP resets
+// mid-stream, and responses truncated mid-body — all seeded, so a
+// failover test replays the exact same hostile network every run.
+//
+// Determinism contract: fault decisions are drawn per accepted
+// connection, in accept order, from a single stream seeded by
+// NetConfig.Seed. Tests that need an exactly reproducible fault
+// sequence must serialize their connections (or use the every-Nth
+// counters, which are order-dependent only on connection count).
+
+// NetConfig selects the network faults. The zero value injects nothing
+// and the proxy is a transparent TCP relay.
+type NetConfig struct {
+	// Seed feeds the proxy's random stream (delay jitter). Decisions are
+	// drawn in connection-accept order.
+	Seed int64
+
+	// DropEveryN closes every Nth accepted connection immediately,
+	// before any bytes flow — the client sees a connect-then-EOF, the
+	// shape of a crashing replica (0 = never).
+	DropEveryN int
+
+	// ResetEveryN aborts every Nth connection with a TCP RST after
+	// FaultAfterBytes of the backend's response have been relayed
+	// (0 = never). Drop wins when both fire on the same connection.
+	ResetEveryN int
+
+	// TruncateEveryN half-closes every Nth connection cleanly after
+	// FaultAfterBytes of the backend's response — a mid-body truncation
+	// that looks like a successful but short reply (0 = never).
+	// Drop and Reset win over Truncate on the same connection.
+	TruncateEveryN int
+
+	// FaultAfterBytes is how much of the backend's response a Reset or
+	// Truncate lets through first (default 0: fault before any response
+	// byte is relayed; headers are typically lost too).
+	FaultAfterBytes int64
+
+	// Delay stalls each connection before relaying begins; DelayJitter
+	// adds a uniformly drawn extra in [0, DelayJitter].
+	Delay       time.Duration
+	DelayJitter time.Duration
+}
+
+// NetStats counts the faults a proxy injected (read with ChaosProxy.Stats).
+type NetStats struct {
+	Conns     int64 // connections accepted
+	Dropped   int64 // closed immediately on accept
+	Resets    int64 // aborted with RST mid-stream
+	Truncated int64 // response cut short cleanly
+	Delayed   int64 // connections stalled before relay
+}
+
+// ChaosProxy is a TCP proxy in front of one backend. Create with
+// NewChaosProxy, point the client at Addr, Close when done.
+type ChaosProxy struct {
+	cfg     NetConfig
+	backend string
+	ln      net.Listener
+
+	mu  sync.Mutex // guards rng draws (accept loop is serial, but Close races)
+	rng *rand.Rand
+
+	conns, dropped, resets, truncated, delayed atomic.Int64
+
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	connsMu sync.Mutex
+	open    map[net.Conn]struct{}
+}
+
+// NewChaosProxy listens on 127.0.0.1:0 and relays to backend
+// (a host:port) with cfg's faults.
+func NewChaosProxy(backend string, cfg NetConfig) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{
+		cfg:     cfg,
+		backend: backend,
+		ln:      ln,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		open:    make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the injected-fault counters.
+func (p *ChaosProxy) Stats() NetStats {
+	return NetStats{
+		Conns:     p.conns.Load(),
+		Dropped:   p.dropped.Load(),
+		Resets:    p.resets.Load(),
+		Truncated: p.truncated.Load(),
+		Delayed:   p.delayed.Load(),
+	}
+}
+
+// Close stops accepting and severs every open relay.
+func (p *ChaosProxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.connsMu.Lock()
+	for c := range p.open {
+		c.Close()
+	}
+	p.connsMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *ChaosProxy) track(c net.Conn) {
+	p.connsMu.Lock()
+	p.open[c] = struct{}{}
+	p.connsMu.Unlock()
+}
+
+func (p *ChaosProxy) untrack(c net.Conn) {
+	p.connsMu.Lock()
+	delete(p.open, c)
+	p.connsMu.Unlock()
+}
+
+// connPlan is the fault decision for one accepted connection, fixed at
+// accept time so the relay goroutines need no further coordination.
+type connPlan struct {
+	drop     bool
+	reset    bool
+	truncate bool
+	delay    time.Duration
+}
+
+// plan draws connection n's faults (n is 1-based accept order).
+func (p *ChaosProxy) plan(n int64) connPlan {
+	var pl connPlan
+	if k := int64(p.cfg.DropEveryN); k > 0 && n%k == 0 {
+		pl.drop = true
+		return pl
+	}
+	if k := int64(p.cfg.ResetEveryN); k > 0 && n%k == 0 {
+		pl.reset = true
+	}
+	if k := int64(p.cfg.TruncateEveryN); k > 0 && n%k == 0 && !pl.reset {
+		pl.truncate = true
+	}
+	if p.cfg.Delay > 0 || p.cfg.DelayJitter > 0 {
+		pl.delay = p.cfg.Delay
+		if p.cfg.DelayJitter > 0 {
+			p.mu.Lock()
+			pl.delay += time.Duration(p.rng.Int63n(int64(p.cfg.DelayJitter) + 1))
+			p.mu.Unlock()
+		}
+	}
+	return pl
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.conns.Add(1)
+		pl := p.plan(n)
+		if pl.drop {
+			p.dropped.Add(1)
+			client.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.relay(client, pl)
+	}
+}
+
+// relay runs one proxied connection under its fault plan.
+func (p *ChaosProxy) relay(client net.Conn, pl connPlan) {
+	defer p.wg.Done()
+	p.track(client)
+	defer func() { p.untrack(client); client.Close() }()
+
+	if pl.delay > 0 {
+		p.delayed.Add(1)
+		timer := time.NewTimer(pl.delay)
+		defer timer.Stop()
+		<-timer.C
+		if p.closed.Load() {
+			return
+		}
+	}
+	backend, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+	if err != nil {
+		return // client sees EOF, like a dead replica
+	}
+	p.track(backend)
+	defer func() { p.untrack(backend); backend.Close() }()
+
+	// Upstream: client → backend, unmodified.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(backend, client)
+		// Pass the client's EOF through so the backend finishes the
+		// exchange instead of waiting for more request bytes.
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Downstream: backend → client, where resets and truncations bite.
+	switch {
+	case pl.reset:
+		if pl.limitCopy(client, backend, p.cfg.FaultAfterBytes) {
+			p.resets.Add(1)
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0) // unsent-data abort: RST, not FIN
+			}
+			client.Close()
+		}
+	case pl.truncate:
+		if pl.limitCopy(client, backend, p.cfg.FaultAfterBytes) {
+			p.truncated.Add(1)
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}
+	default:
+		io.Copy(client, backend)
+	}
+	// Propagate the backend's EOF (or the truncation point) to the client
+	// so it stops reading; reset connections are already hard-closed, and
+	// CloseWrite on them fails harmlessly.
+	if tc, ok := client.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	<-done
+}
+
+// limitCopy relays up to limit response bytes and reports whether the
+// backend still had more to say (i.e. the fault actually cut something
+// off; a response shorter than the limit passes through unfaulted).
+func (pl connPlan) limitCopy(dst, src net.Conn, limit int64) bool {
+	if limit > 0 {
+		if _, err := io.CopyN(dst, src, limit); err != nil {
+			return false // backend finished (or died) under the limit
+		}
+	}
+	// Probe one more byte: if it arrives, the cut is real. The byte is
+	// deliberately not relayed — it is the first casualty of the fault.
+	var one [1]byte
+	n, err := src.Read(one[:])
+	return n > 0 || err == nil
+}

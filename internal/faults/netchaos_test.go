@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// newLinePayloadBackend is a minimal TCP backend: per connection it
+// reads one newline-terminated request, writes payload, and closes.
+// One-shot connections keep the proxy's EOF semantics unambiguous.
+func newLinePayloadBackend(t *testing.T, payload []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil || buf[0] == '\n' {
+						break
+					}
+				}
+				c.Write(payload)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// exchange dials the proxy, sends one request line, and reads the
+// response to EOF/error, returning what arrived and the read error.
+func exchange(t *testing.T, addr string) ([]byte, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write([]byte("hello\n")); err != nil {
+		return nil, err
+	}
+	var got bytes.Buffer
+	_, err = io.Copy(&got, c)
+	return got.Bytes(), err
+}
+
+// TestChaosProxyTransparent: the zero config is a faithful relay.
+func TestChaosProxyTransparent(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 512)
+	backend := newLinePayloadBackend(t, payload)
+	p, err := NewChaosProxy(backend, NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, err := exchange(t, p.Addr())
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("transparent relay: %d bytes, err=%v, want %d bytes clean", len(got), err, len(payload))
+	}
+	s := p.Stats()
+	if s.Conns != 1 || s.Dropped+s.Resets+s.Truncated+s.Delayed != 0 {
+		t.Errorf("stats = %+v, want one clean connection", s)
+	}
+}
+
+// TestChaosProxyDropDeterministic: DropEveryN kills exactly every Nth
+// accepted connection, and the pattern replays identically on a fresh
+// proxy with the same config — the determinism contract.
+func TestChaosProxyDropDeterministic(t *testing.T) {
+	payload := []byte("response-body")
+	backend := newLinePayloadBackend(t, payload)
+
+	run := func() (outcomes []bool, stats NetStats) {
+		p, err := NewChaosProxy(backend, NetConfig{Seed: 7, DropEveryN: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 9; i++ {
+			got, err := exchange(t, p.Addr())
+			outcomes = append(outcomes, err == nil && bytes.Equal(got, payload))
+		}
+		return outcomes, p.Stats()
+	}
+
+	first, stats := run()
+	if stats.Conns != 9 || stats.Dropped != 3 {
+		t.Fatalf("stats = %+v, want 9 conns / 3 dropped", stats)
+	}
+	wantOK := []bool{true, true, false, true, true, false, true, true, false}
+	for i, ok := range first {
+		if ok != wantOK[i] {
+			t.Errorf("conn %d ok=%v, want %v", i+1, ok, wantOK[i])
+		}
+	}
+	second, _ := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("conn %d outcome differs between identical runs: %v vs %v", i+1, first[i], second[i])
+		}
+	}
+}
+
+// TestChaosProxyTruncateMidBody: the client receives exactly
+// FaultAfterBytes of the response, then a clean EOF — the
+// short-successful-reply shape that must be caught by body decoding,
+// not by transport errors.
+func TestChaosProxyTruncateMidBody(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 32) // 256 bytes
+	backend := newLinePayloadBackend(t, payload)
+	p, err := NewChaosProxy(backend, NetConfig{TruncateEveryN: 1, FaultAfterBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, readErr := exchange(t, p.Addr())
+	if readErr != nil {
+		t.Fatalf("truncated read should end in clean EOF, got %v", readErr)
+	}
+	if !bytes.Equal(got, payload[:100]) {
+		t.Fatalf("got %d bytes, want exactly the first 100 of the payload", len(got))
+	}
+	if s := p.Stats(); s.Truncated != 1 {
+		t.Errorf("stats = %+v, want Truncated=1", s)
+	}
+}
+
+// TestChaosProxyResetMidBody: the connection dies with an error after
+// at most FaultAfterBytes — an abortive close, not a clean short body.
+func TestChaosProxyResetMidBody(t *testing.T) {
+	payload := bytes.Repeat([]byte("z"), 4096)
+	backend := newLinePayloadBackend(t, payload)
+	p, err := NewChaosProxy(backend, NetConfig{ResetEveryN: 1, FaultAfterBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, readErr := exchange(t, p.Addr())
+	// An RST may discard bytes already buffered client-side, so the exact
+	// count is not guaranteed — but a full clean read is impossible.
+	if readErr == nil && len(got) >= len(payload) {
+		t.Fatal("reset connection delivered the full payload cleanly")
+	}
+	if len(got) > 64 {
+		t.Errorf("client read %d bytes, fault should cap the relay at 64", len(got))
+	}
+	if s := p.Stats(); s.Resets != 1 {
+		t.Errorf("stats = %+v, want Resets=1", s)
+	}
+}
+
+// TestChaosProxyShortResponsePassesUnfaulted: a response that ends under
+// FaultAfterBytes has nothing to cut — the fault must not fire and the
+// client sees the complete body.
+func TestChaosProxyShortResponsePassesUnfaulted(t *testing.T) {
+	payload := []byte("tiny")
+	backend := newLinePayloadBackend(t, payload)
+	p, err := NewChaosProxy(backend, NetConfig{ResetEveryN: 1, FaultAfterBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, readErr := exchange(t, p.Addr())
+	if readErr != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("short response: got %q err=%v, want full %q", got, readErr, payload)
+	}
+	if s := p.Stats(); s.Resets != 0 {
+		t.Errorf("stats = %+v, want Resets=0 (nothing was cut)", s)
+	}
+}
+
+// TestChaosProxyDelay: the configured stall is observed before the
+// response arrives and counted once per connection.
+func TestChaosProxyDelay(t *testing.T) {
+	payload := []byte("slow")
+	backend := newLinePayloadBackend(t, payload)
+	p, err := NewChaosProxy(backend, NetConfig{Seed: 1, Delay: 50 * time.Millisecond, DelayJitter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	got, readErr := exchange(t, p.Addr())
+	if readErr != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("delayed relay: got %q err=%v", got, readErr)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("exchange finished in %v, before the 50ms injected delay", d)
+	}
+	if s := p.Stats(); s.Delayed != 1 {
+		t.Errorf("stats = %+v, want Delayed=1", s)
+	}
+}

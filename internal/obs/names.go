@@ -75,4 +75,76 @@ const (
 	MImportSamples       = "import.samples"
 	MImportFrames        = "import.frames"
 	MImportFramesDropped = "import.frames_dropped"
+
+	// Cluster serving (internal/cluster): cell routing outcomes. A cell
+	// whose ring owner is this replica is served from the local stack
+	// (cells_local); a cell owned by a peer is forwarded (cells_remote);
+	// a cell whose remote owners were all exhausted degrades to local
+	// computation (degraded_local) or, if that fails too, to the last
+	// known-good result (stale_serves).
+	MClusterCellsLocal    = "cluster.cells_local"
+	MClusterCellsRemote   = "cluster.cells_remote"
+	MClusterDegradedLocal = "cluster.degraded_local"
+	MClusterStaleServes   = "cluster.stale_serves"
+
+	// Cluster forwarding: individual peer attempts, transient-failure
+	// retries on the same peer, and failovers to the next ring owner.
+	MClusterForwards      = "cluster.forwards"
+	MClusterForwardErrors = "cluster.forward_errors"
+	MClusterRetries       = "cluster.retries"
+	MClusterFailovers     = "cluster.peer_failovers"
+
+	// Request hedging: hedges launched after the primary exceeded the
+	// latency budget, and hedges whose response won the race.
+	MClusterHedgesFired = "cluster.hedges_fired"
+	MClusterHedgesWon   = "cluster.hedges_won"
+
+	// Per-peer circuit breaker state transitions.
+	MClusterBreakerOpened   = "cluster.breaker.opened"
+	MClusterBreakerHalfOpen = "cluster.breaker.half_open"
+	MClusterBreakerClosed   = "cluster.breaker.closed"
+
+	// Background health probing of peers.
+	MClusterProbes        = "cluster.probes"
+	MClusterProbeFailures = "cluster.probe_failures"
+
+	// Latency of winning forwarded cell calls (nanosecond histogram).
+	MClusterForwardLatency = "cluster.forward.latency_ns"
 )
+
+// allNames lists every metric name declared above, in declaration order.
+// TestNamesDeclared keeps it in sync with the consts by parsing this
+// file; emitters are tested against AllNames so no package can invent a
+// metric name outside this vocabulary.
+var allNames = []string{
+	MStageProfile, MStageCompress, MStageCalibrate, MStageEmulate,
+	MSimRuns, MSimEvents, MSimPreemptions, MSimHeadroom,
+	MSweepCellsOK, MSweepCellsFailed, MSweepCellsSkipped,
+	MCacheHits, MCacheMisses, MCacheDedups,
+	MServerPredicts, MServerSweeps, MServerRejected, MServerBadRequests, MServerImports,
+	MServerPredictLatency, MServerSweepLatency,
+	MServerCacheHits, MServerCacheMisses, MServerCacheEvictions, MServerFlightDedups,
+	MServerBatches, MServerBatchCells, MServerBatchSize,
+	MImportRuns, MImportSamples, MImportFrames, MImportFramesDropped,
+	MClusterCellsLocal, MClusterCellsRemote, MClusterDegradedLocal, MClusterStaleServes,
+	MClusterForwards, MClusterForwardErrors, MClusterRetries, MClusterFailovers,
+	MClusterHedgesFired, MClusterHedgesWon,
+	MClusterBreakerOpened, MClusterBreakerHalfOpen, MClusterBreakerClosed,
+	MClusterProbes, MClusterProbeFailures,
+	MClusterForwardLatency,
+}
+
+// AllNames returns a copy of the canonical metric-name vocabulary.
+func AllNames() []string {
+	return append([]string(nil), allNames...)
+}
+
+// Declared reports whether name is part of the canonical vocabulary.
+func Declared(name string) bool {
+	for _, n := range allNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

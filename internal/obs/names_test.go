@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// TestNamesDeclared keeps AllNames in lockstep with the consts: it
+// parses names.go, collects every string constant declared there, and
+// requires the allNames slice to contain exactly that set (no name can
+// be added to the vocabulary without registering it, and vice versa).
+func TestNamesDeclared(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "names.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse names.go: %v", err)
+	}
+	declared := map[string]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquote %s: %v", lit.Value, err)
+				}
+				declared[name] = true
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no const metric names in names.go")
+	}
+
+	registered := map[string]bool{}
+	for _, n := range AllNames() {
+		if registered[n] {
+			t.Errorf("AllNames lists %q twice", n)
+		}
+		registered[n] = true
+	}
+	for n := range declared {
+		if !registered[n] {
+			t.Errorf("const metric name %q is not in allNames", n)
+		}
+	}
+	for n := range registered {
+		if !declared[n] {
+			t.Errorf("allNames entry %q has no const declaration", n)
+		}
+	}
+	if !Declared(MClusterHedgesFired) {
+		t.Errorf("Declared(%q) = false", MClusterHedgesFired)
+	}
+	if Declared("cluster.bogus") {
+		t.Error(`Declared("cluster.bogus") = true`)
+	}
+}

@@ -185,6 +185,13 @@ func (b *batcher) close() {
 // the flight completes — completed values live in the LRU, not here — so
 // a canceled leader can never poison later requests (the same contract
 // the sweep singleflight cache keeps for calibration).
+//
+// The computation does not run under the leader's request context: it
+// runs under a per-flight context derived from the server's lifetime
+// context, canceled only when *every* waiter has abandoned the flight.
+// A leader whose request dies mid-flight therefore cannot starve the
+// followers that joined it — the cell keeps computing on their behalf —
+// while a cell nobody is waiting for is still canceled promptly.
 type flightGroup struct {
 	mu     sync.Mutex
 	m      map[string]*flight
@@ -192,8 +199,10 @@ type flightGroup struct {
 }
 
 type flight struct {
-	done chan struct{}
-	res  cellResult
+	done    chan struct{}
+	res     cellResult
+	cancel  context.CancelFunc
+	waiters int // guarded by the group mutex
 }
 
 func newFlightGroup(reg *obs.Registry) *flightGroup {
@@ -201,38 +210,48 @@ func newFlightGroup(reg *obs.Registry) *flightGroup {
 }
 
 // do returns the result for key, computing it via lead exactly once per
-// flight. lead is called with a completion callback the leader must
-// invoke exactly once. A waiter whose ctx fires returns the cancellation
-// without disturbing the flight.
-func (g *flightGroup) do(ctx context.Context, key string, lead func(finish func(cellResult))) (cellResult, error) {
+// flight. lead is called with the flight's computation context and a
+// completion callback it must invoke exactly once. A waiter whose ctx
+// fires returns the cancellation; the flight itself is only canceled
+// when the last waiter leaves.
+func (g *flightGroup) do(ctx, base context.Context, key string, lead func(fctx context.Context, finish func(cellResult))) (cellResult, error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
+		f.waiters++
 		g.mu.Unlock()
 		g.dedups.Inc()
-		select {
-		case <-f.done:
-			return f.res, nil
-		case <-ctx.Done():
-			return cellResult{}, ctx.Err()
-		}
+		return g.wait(ctx, f)
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(base)
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.m[key] = f
 	g.mu.Unlock()
-	lead(func(r cellResult) {
+	lead(fctx, func(r cellResult) {
 		f.res = r
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()
 		close(f.done)
+		cancel()
 	})
+	return g.wait(ctx, f)
+}
+
+// wait parks one waiter on the flight. Leaving early (own ctx fired)
+// decrements the waiter count; the last one out cancels the flight's
+// computation — nobody is listening for the result anymore.
+func (g *flightGroup) wait(ctx context.Context, f *flight) (cellResult, error) {
 	select {
 	case <-f.done:
 		return f.res, nil
 	case <-ctx.Done():
-		// The leader abandons the wait but the flight still completes
-		// (the batcher delivers exactly once); waiters parked on f.done
-		// get the result.
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
 		return cellResult{}, ctx.Err()
 	}
 }

@@ -157,7 +157,7 @@ func TestFlightGroupDedup(t *testing.T) {
 	var leads atomic.Int64
 	started := make(chan struct{})
 	unblock := make(chan struct{})
-	lead := func(finish func(cellResult)) {
+	lead := func(_ context.Context, finish func(cellResult)) {
 		leads.Add(1)
 		go func() {
 			close(started)
@@ -173,7 +173,7 @@ func TestFlightGroupDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		results[0], errsOut[0] = g.do(context.Background(), "k", lead)
+		results[0], errsOut[0] = g.do(context.Background(), context.Background(), "k", lead)
 	}()
 	<-started // the leader exists; everyone else dedups onto its flight
 	for i := 1; i < waiters; i++ {
@@ -181,7 +181,7 @@ func TestFlightGroupDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errsOut[i] = g.do(context.Background(), "k", func(func(cellResult)) {
+			results[i], errsOut[i] = g.do(context.Background(), context.Background(), "k", func(context.Context, func(cellResult)) {
 				t.Error("second leader elected for an in-flight key")
 			})
 		}()
@@ -222,7 +222,7 @@ func TestFlightGroupLeaderCancelDoesNotPoison(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, err := g.do(leaderCtx, "k", func(finish func(cellResult)) {
+		_, err := g.do(leaderCtx, context.Background(), "k", func(_ context.Context, finish func(cellResult)) {
 			finishCh <- finish
 		})
 		if !errors.Is(err, context.Canceled) {
@@ -237,7 +237,7 @@ func TestFlightGroupLeaderCancelDoesNotPoison(t *testing.T) {
 	// context gets the real result once the compute lands.
 	waiterRes := make(chan cellResult, 1)
 	go func() {
-		r, err := g.do(context.Background(), "k", func(func(cellResult)) {
+		r, err := g.do(context.Background(), context.Background(), "k", func(context.Context, func(cellResult)) {
 			t.Error("waiter became leader while the flight was open")
 		})
 		if err != nil {
@@ -253,7 +253,7 @@ func TestFlightGroupLeaderCancelDoesNotPoison(t *testing.T) {
 
 	// The completed flight is gone: the next caller is a fresh leader.
 	var ledAgain atomic.Bool
-	r, err := g.do(context.Background(), "k", func(finish func(cellResult)) {
+	r, err := g.do(context.Background(), context.Background(), "k", func(_ context.Context, finish func(cellResult)) {
 		ledAgain.Store(true)
 		finish(cellResult{est: est(9)})
 	})

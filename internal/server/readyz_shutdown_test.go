@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"prophet"
+)
+
+// TestReadyzFlipsTheMomentShutdownStops is the load-balancer contract:
+// /readyz must answer 503 as soon as Shutdown stops admitting — while
+// the drain of in-flight requests is still in progress, not after it
+// finishes — so an LB pulls the replica before its refusals are visible
+// to clients. A cluster prober leans on the same signal to open the
+// draining peer's circuit.
+func TestReadyzFlipsTheMomentShutdownStops(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Park one request in flight so the drain cannot complete.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	hook := func() {
+		close(entered)
+		<-release
+	}
+	s.testHook.Store(&hook)
+	predictDone := make(chan int, 1)
+	go func() {
+		code, _ := postJSON(t, ts.URL+"/v1/predict", predictRequest{
+			Workload: "NPB-EP",
+			Request:  prophet.Request{Threads: 2},
+		})
+		predictDone <- code
+	}()
+	<-entered
+	var noop func()
+	s.testHook.Store(&noop) // later requests must not block
+
+	// Shutdown with a generous deadline: it will sit in the drain until
+	// the parked request is released.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// While the drain is pending, readiness must already be gone and new
+	// work refused — poll briefly for the closing flag to be observable.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz still %d mid-drain, want 503", resp.StatusCode)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	default:
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/predict", predictRequest{
+		Workload: "NPB-EP",
+		Request:  prophet.Request{Threads: 2},
+	}); code != http.StatusServiceUnavailable {
+		t.Errorf("predict during drain: %d, want 503", code)
+	}
+	// /healthz keeps answering 200 throughout: the process is alive, it
+	// is the *readiness* that flipped.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200", resp.StatusCode)
+	}
+
+	// The parked request finishes normally: draining never cancels work
+	// that was already admitted.
+	close(release)
+	if code := <-predictDone; code != http.StatusOK {
+		t.Errorf("in-flight predict finished with %d, want 200", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown after clean drain: %v", err)
+	}
+}

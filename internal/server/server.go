@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"prophet"
+	"prophet/internal/cluster"
 	"prophet/internal/obs"
 	"prophet/internal/sweep"
 	"prophet/internal/workloads"
@@ -80,6 +81,13 @@ type Config struct {
 	// both the upload itself and the gzip-expanded profile inside it
 	// (0 = 8 MiB; negative disables profile uploads entirely).
 	MaxImportBytes int64
+
+	// Cluster, when non-nil, serves cells through a replica fleet: each
+	// uncached cell is routed by consistent hash to the replica whose
+	// caches are hot for it, with retries, hedging, breakers and
+	// degradation per the cluster package. The server fills in the
+	// Local estimator and (if unset) the Metrics registry.
+	Cluster *cluster.Config
 
 	// Metrics receives server and pipeline metrics (nil = a fresh
 	// registry, exposed at /metrics either way).
@@ -157,6 +165,7 @@ type Server struct {
 	cache    *estimateCache
 	flights  *flightGroup
 	batch    *batcher
+	cluster  *cluster.Client // nil outside cluster mode
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -197,6 +206,14 @@ func New(cfg Config) *Server {
 		sweepLat:   reg.Histogram(obs.MServerSweepLatency),
 	}
 	s.batch = newBatcher(baseCtx, sweep.Engine{Workers: cfg.Workers, Metrics: reg}, cfg.BatchWindow, cfg.MaxBatch, reg)
+	if cfg.Cluster != nil {
+		ccfg := *cfg.Cluster
+		ccfg.Local = s.localEstimate
+		if ccfg.Metrics == nil {
+			ccfg.Metrics = reg
+		}
+		s.cluster = cluster.New(ccfg)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -281,6 +298,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Cancel stragglers (no-op after a clean drain) and stop the
 	// dispatcher; the in-flight batch finishes or aborts via baseCtx.
 	s.stopOnce.Do(func() {
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
 		s.baseCancel()
 		s.batch.close()
 	})
@@ -343,9 +363,12 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 	return context.WithCancel(ctx)
 }
 
-// estimate computes one cell through the cache → singleflight → batcher
-// stack. cached reports whether the LRU answered.
-func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet.Request) (est prophet.Estimate, cached bool, err error) {
+// estimate computes one cell: LRU, then — in cluster mode, for cells
+// that did not already arrive routed — the consistent-hash fleet, and
+// otherwise the local singleflight → batcher stack. cached reports
+// whether the LRU answered. forwarded marks a cell another replica
+// already routed here; it must be served locally (one-hop contract).
+func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet.Request, forwarded bool) (est prophet.Estimate, cached bool, err error) {
 	// Normalize Threads the way the library does, so "threads":0 and an
 	// explicit machine core count share a cache line.
 	if req.Threads == 0 {
@@ -355,9 +378,22 @@ func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet
 	if est, ok := s.cache.Get(key); ok {
 		return est, true, nil
 	}
-	res, err := s.flights.do(ctx, key, func(finish func(cellResult)) {
+	if s.cluster != nil && !forwarded {
+		est, err := s.cluster.Estimate(ctx, key, entry.name, req)
+		if err == nil && est.Err == nil {
+			s.cache.Put(key, est)
+		}
+		return est, false, err
+	}
+	return s.localCell(ctx, entry, key, req)
+}
+
+// localCell runs one cell through the singleflight → batcher stack on
+// this replica's own pool.
+func (s *Server) localCell(ctx context.Context, entry *workloadEntry, key string, req prophet.Request) (est prophet.Estimate, cached bool, err error) {
+	res, err := s.flights.do(ctx, s.baseCtx, key, func(fctx context.Context, finish func(cellResult)) {
 		j := &cellJob{
-			ctx: ctx,
+			ctx: fctx,
 			run: func(ctx context.Context) (prophet.Estimate, error) {
 				return entry.prof.EstimateCtx(ctx, req)
 			},
@@ -376,6 +412,28 @@ func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet
 		return prophet.Estimate{Request: req, Err: err}, false, err
 	}
 	return res.est, false, res.err
+}
+
+// localEstimate is the cluster client's view of this replica's estimate
+// stack: the Local serving path for self-owned cells and the
+// degradation target when a shard's peers are all down.
+func (s *Server) localEstimate(ctx context.Context, workload string, req prophet.Request) (prophet.Estimate, error) {
+	s.entriesMu.RLock()
+	entry, ok := s.entries[workload]
+	s.entriesMu.RUnlock()
+	if !ok {
+		err := fmt.Errorf("unknown workload %q", workload)
+		return prophet.Estimate{Request: req, Err: err}, err
+	}
+	if req.Threads == 0 {
+		req.Threads = prophet.DefaultMachine().Normalized().Cores
+	}
+	key := cellKey(entry, req)
+	if est, ok := s.cache.Get(key); ok {
+		return est, nil
+	}
+	est, _, err := s.localCell(ctx, entry, key, req)
+	return est, err
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -407,7 +465,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if hook := s.testHook.Load(); hook != nil {
 		(*hook)()
 	}
-	est, _, err := s.estimate(ctx, entry, pr.Request)
+	est, _, err := s.estimate(ctx, entry, pr.Request, isForwarded(r))
 	if isCancellation(err) {
 		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("prediction canceled: %v", err))
 		return
@@ -461,12 +519,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var wg sync.WaitGroup
 	var cachedCount int64
 	var mu sync.Mutex
+	forwarded := isForwarded(r)
 	for i, req := range grid {
 		i, req := i, req
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			est, cached, err := s.estimate(ctx, entry, req)
+			est, cached, err := s.estimate(ctx, entry, req, forwarded)
 			o := sweep.Outcome[prophet.Estimate]{Index: i, Value: est, Err: err}
 			if err == nil && est.Err != nil {
 				o.Err = est.Err
@@ -595,6 +654,13 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 func (s *Server) clientError(w http.ResponseWriter, err error) {
 	s.badReqs.Inc()
 	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// isForwarded reports whether a request is an already-routed cluster
+// cell: it is served locally, never re-routed, so forwarding terminates
+// after one hop.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.ForwardedHeader) != ""
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
