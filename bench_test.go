@@ -17,6 +17,7 @@ import (
 	"prophet/internal/compress"
 	"prophet/internal/experiments"
 	"prophet/internal/ff"
+	"prophet/internal/machine"
 	"prophet/internal/memmodel"
 	"prophet/internal/omprt"
 	"prophet/internal/realrun"
@@ -234,6 +235,34 @@ func BenchmarkSimEngine(b *testing.B) {
 	var events int64
 	for i := 0; i < b.N; i++ {
 		_, st := sim.Run(benchMachine(), func(t *sim.Thread) {
+			ws := make([]*sim.Thread, 0, 24)
+			for k := 0; k < 24; k++ {
+				ws = append(ws, t.Spawn(func(w *sim.Thread) {
+					for j := 0; j < 50; j++ {
+						w.Work(5_000)
+					}
+				}))
+			}
+			for _, w := range ws {
+				t.Join(w)
+			}
+		})
+		events += st.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSimEngineSpec is the same workload driven through a machine
+// spec (the default preset) instead of the flat legacy knobs: the
+// spec→machine derivation and the pooled spec-keyed reset must sustain
+// the engine's event throughput. CI gates the reported events/sec.
+func BenchmarkSimEngineSpec(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.Config{Spec: machine.Default(), ContextSwitch: -1}
+	var events int64
+	for i := 0; i < b.N; i++ {
+		_, st := sim.Run(cfg, func(t *sim.Thread) {
 			ws := make([]*sim.Thread, 0, 24)
 			for k := 0; k < 24; k++ {
 				ws = append(ws, t.Spawn(func(w *sim.Thread) {

@@ -9,6 +9,7 @@
 //	ppexp -calibration         # Eq. (6)/(7) fits
 //	ppexp -samples 300         # Fig. 11 sample count (paper: 300)
 //	ppexp -bench NPB-FT,NPB-EP # restrict Fig. 12 to some benchmarks
+//	ppexp -machines all        # machine matrix: PredM per machine preset
 //	ppexp -csv dir             # also write CSV series/scatters into dir
 //	ppexp -workers 8           # sweep worker pool (0 = GOMAXPROCS, 1 = serial)
 //	ppexp -metrics m.json      # write a metrics snapshot ("-" = stdout)
@@ -48,6 +49,7 @@ func main() {
 		calib      = flag.Bool("calibration", false, "run the Eq. (6)/(7) calibration")
 		samples    = flag.Int("samples", 60, "Fig. 11 random samples per case (paper: 300)")
 		benches    = flag.String("bench", "", "comma-separated benchmark subset for Fig. 12")
+		machinesIn = flag.String("machines", "", "machine matrix over these comma-separated presets (\"all\" = every preset); runs in addition to the selected figures")
 		csvDir     = flag.String("csv", "", "directory for CSV output")
 		markdown   = flag.Bool("md", false, "render tables as GitHub markdown instead of aligned text")
 		coresArg   = flag.String("cores", "", "comma-separated core counts (default 2,4,6,8,10,12)")
@@ -93,8 +95,20 @@ func main() {
 		}
 	}
 
+	var machineNames []string
+	if *machinesIn != "" && *machinesIn != "all" {
+		specs, err := prophet.ParseMachines(*machinesIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, sp := range specs {
+			machineNames = append(machineNames, sp.Name)
+		}
+	}
+
 	markdownOut = *markdown
-	all := *fig == "" && *table == "" && !*calib
+	all := *fig == "" && *table == "" && !*calib && *machinesIn == ""
 	out := os.Stdout
 
 	// One harness for the whole invocation: figures sharing inputs
@@ -152,6 +166,11 @@ func main() {
 	}
 	if all || *table == "ranking" {
 		mustWrite(h.ScheduleRanking(), out)
+	}
+	if *machinesIn != "" {
+		fmt.Fprintln(out, "## Machine matrix — predictions across machine presets")
+		fmt.Fprintln(out)
+		mustWrite(h.MachineMatrix(names, machineNames), out)
 	}
 	if all || *calib {
 		text, series := experiments.Calibration(cfg)

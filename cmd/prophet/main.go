@@ -5,13 +5,19 @@
 // Usage:
 //
 //	prophet -bench NPB-FT [-method synthesizer] [-cores 2,4,6,8,10,12]
-//	        [-sched dynamic1] [-mem] [-real] [-tree out.json] [-dot out.dot]
+//	        [-machines westmere12,embedded4+4] [-sched dynamic1] [-mem]
+//	        [-real] [-tree out.json] [-dot out.dot]
 //	        [-trace trace.json] [-metrics metrics.json]
 //	prophet -load tree.json [-method ff] ...
 //	prophet -import prof.pb.gz [-sample-type cpu] [-collapse 0.001] ...
 //	prophet -import-folded stacks.txt ...
 //
-// Use -list to see the available benchmarks.
+// Use -list to see the available benchmarks and machine presets.
+//
+// -machines predicts the same grid for several machine presets and
+// prints one speedup column per machine (the profile is re-profiled and
+// the memory model recalibrated per machine, cached for the run).
+// Without -machines, output is unchanged from earlier versions.
 //
 // -import ingests a pprof protobuf profile (go test -cpuprofile,
 // runtime/pprof, net/http/pprof; gzipped or raw) and -import-folded a
@@ -87,6 +93,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available benchmarks")
 		method     = flag.String("method", "ff", "prediction method: ff | synthesizer | suitability | amdahl | critical-path")
 		coresFlag  = flag.String("cores", "2,4,6,8,10,12", "comma-separated CPU counts")
+		machFlag   = flag.String("machines", "", "comma-separated machine presets to predict for, one speedup column each (see -list; empty = the profile's machine)")
 		schedName  = flag.String("sched", "", "OpenMP schedule: static | static1 | dynamic1 | guided (default: the benchmark's)")
 		useMem     = flag.Bool("mem", true, "apply the memory performance model (PredM)")
 		withReal   = flag.Bool("real", false, "also run the machine ground truth (slow)")
@@ -148,6 +155,10 @@ func main() {
 			w, _ := workloads.ByName(n)
 			fmt.Printf("  %-11s %s\n", n, w.Desc)
 		}
+		fmt.Println("machine presets (-machines):")
+		for _, sp := range prophet.MachinePresets() {
+			fmt.Printf("  %-12s %2d cores — %s\n", sp.Name, sp.Cores(), sp.Desc)
+		}
 		if sources == 0 && !*list {
 			os.Exit(2)
 		}
@@ -163,6 +174,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var machines []*prophet.MachineSpec
+	if *machFlag != "" {
+		machines, err = prophet.ParseMachines(*machFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	var (
@@ -226,29 +245,64 @@ func main() {
 		}
 	}
 
-	headers := []string{"cores", "predicted speedup"}
-	if *withReal {
-		headers = append(headers, "real (machine)")
-	}
-	t := report.NewTable(fmt.Sprintf("%s — %s, %s, %v", name, m, paradigm, sched), headers...)
-	for _, c := range cores {
-		req := prophet.Request{Method: m, Threads: c, Paradigm: paradigm, Sched: sched, MemoryModel: *useMem}
-		est, err := prof.EstimateCtx(ctx, req)
-		if err != nil {
-			fail(fmt.Sprintf("predict %d cores", c), err)
-		}
-		row := []string{strconv.Itoa(c), fmt.Sprintf("%.2f", est.Speedup)}
-		if *withReal {
-			real, err := prof.RealSpeedupCtx(ctx, req)
-			if err != nil {
-				fail(fmt.Sprintf("real run %d cores", c), err)
+	if len(machines) > 0 {
+		// Machine matrix: one predicted-speedup column per preset (plus
+		// a ground-truth column each with -real).
+		headers := []string{"cores"}
+		for _, sp := range machines {
+			headers = append(headers, sp.Name)
+			if *withReal {
+				headers = append(headers, sp.Name+" (real)")
 			}
-			row = append(row, fmt.Sprintf("%.2f", real))
 		}
-		t.AddRow(row...)
-	}
-	if _, err := t.WriteTo(os.Stdout); err != nil {
-		os.Exit(1)
+		t := report.NewTable(fmt.Sprintf("%s — %s, %s, %v, machine matrix", name, m, paradigm, sched), headers...)
+		for _, c := range cores {
+			row := []string{strconv.Itoa(c)}
+			for _, sp := range machines {
+				req := prophet.Request{Method: m, Threads: c, Paradigm: paradigm, Sched: sched, MemoryModel: *useMem, Machine: sp.Name}
+				est, err := prof.EstimateCtx(ctx, req)
+				if err != nil {
+					fail(fmt.Sprintf("predict %d cores on %s", c, sp.Name), err)
+				}
+				row = append(row, fmt.Sprintf("%.2f", est.Speedup))
+				if *withReal {
+					real, err := prof.RealSpeedupCtx(ctx, req)
+					if err != nil {
+						fail(fmt.Sprintf("real run %d cores on %s", c, sp.Name), err)
+					}
+					row = append(row, fmt.Sprintf("%.2f", real))
+				}
+			}
+			t.AddRow(row...)
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			os.Exit(1)
+		}
+	} else {
+		headers := []string{"cores", "predicted speedup"}
+		if *withReal {
+			headers = append(headers, "real (machine)")
+		}
+		t := report.NewTable(fmt.Sprintf("%s — %s, %s, %v", name, m, paradigm, sched), headers...)
+		for _, c := range cores {
+			req := prophet.Request{Method: m, Threads: c, Paradigm: paradigm, Sched: sched, MemoryModel: *useMem}
+			est, err := prof.EstimateCtx(ctx, req)
+			if err != nil {
+				fail(fmt.Sprintf("predict %d cores", c), err)
+			}
+			row := []string{strconv.Itoa(c), fmt.Sprintf("%.2f", est.Speedup)}
+			if *withReal {
+				real, err := prof.RealSpeedupCtx(ctx, req)
+				if err != nil {
+					fail(fmt.Sprintf("real run %d cores", c), err)
+				}
+				row = append(row, fmt.Sprintf("%.2f", real))
+			}
+			t.AddRow(row...)
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			os.Exit(1)
+		}
 	}
 
 	if *advise {

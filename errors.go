@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"prophet/internal/machine"
 	"prophet/internal/profimport"
 	"prophet/internal/sim"
 	"prophet/internal/trace"
@@ -48,6 +49,12 @@ var (
 	// ErrProfileTooLarge: an imported profile exceeds the configured
 	// size limit (raw or after gzip expansion).
 	ErrProfileTooLarge = profimport.ErrTooLarge
+	// ErrInvalidMachineSpec: a MachineSpec failed validation. errors.As
+	// to *MachineSpecError for the offending field.
+	ErrInvalidMachineSpec = machine.ErrInvalidSpec
+	// ErrUnknownMachine: a machine name (Request.Machine, -machines, a
+	// daemon request's machine field) resolves to no registered preset.
+	ErrUnknownMachine = machine.ErrUnknownSpec
 )
 
 // Diagnostic error types, re-exported so callers can errors.As without
@@ -60,6 +67,8 @@ type (
 	LockMisuseError = sim.LockMisuseError
 	// BudgetError reports which watchdog budget a run exhausted.
 	BudgetError = sim.BudgetError
+	// MachineSpecError pinpoints the field of an invalid MachineSpec.
+	MachineSpecError = machine.SpecError
 )
 
 // PanicError is a panic recovered at the public API boundary: a bug in the
@@ -100,7 +109,7 @@ func isProphetError(err error) bool {
 		ErrAnnotationMismatch, ErrMalformedTree, ErrDeadlock,
 		ErrLockMisuse, ErrBudgetExceeded, context.Canceled,
 		context.DeadlineExceeded, ErrProfileCorrupt, ErrProfileEmpty,
-		ErrProfileTooLarge,
+		ErrProfileTooLarge, ErrInvalidMachineSpec, ErrUnknownMachine,
 	} {
 		if errors.Is(err, sentinel) {
 			return true

@@ -41,6 +41,11 @@ func TestEstimateGoldenJSON(t *testing.T) {
 			Request: Request{Method: CriticalPathBound, Threads: 6, Sched: Guided},
 			Err:     errors.New("sim: deadlock: all runnable threads blocked"),
 		},
+		{
+			Request: Request{Method: FastForward, Threads: 8, Paradigm: OpenMP, Sched: Dynamic1, MemoryModel: true, Machine: "embedded4+4"},
+			Speedup: 3.41,
+			Time:    1_407_624,
+		},
 	}
 	data, err := json.MarshalIndent(ests, "", "  ")
 	if err != nil {
@@ -83,5 +88,34 @@ func TestEstimateGoldenJSON(t *testing.T) {
 		case ests[i].Err != nil && (back[i].Err == nil || back[i].Err.Error() != ests[i].Err.Error()):
 			t.Errorf("[%d] err round-trip: got %v, want %v", i, back[i].Err, ests[i].Err)
 		}
+	}
+}
+
+// TestEstimateLegacyWire pins backward compatibility of the machine
+// field against a frozen pre-machine fixture: payloads written before
+// Request.Machine existed decode identically (Machine comes back empty,
+// meaning the default machine), and re-encoding them reproduces the old
+// bytes exactly — an empty machine is omitted, never serialized.
+func TestEstimateLegacyWire(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("results", "golden", "estimates_legacy.json"))
+	if err != nil {
+		t.Fatalf("missing legacy fixture (frozen at its introduction; never regenerate): %v", err)
+	}
+	var ests []Estimate
+	if err := json.Unmarshal(want, &ests); err != nil {
+		t.Fatalf("legacy fixture does not unmarshal: %v", err)
+	}
+	for i, e := range ests {
+		if e.Machine != "" {
+			t.Errorf("[%d] legacy payload decoded with machine %q, want empty (default)", i, e.Machine)
+		}
+	}
+	data, err := json.MarshalIndent(ests, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if string(data) != string(want) {
+		t.Errorf("re-encoding a legacy payload changed its bytes:\ngot:\n%s\nwant:\n%s", data, want)
 	}
 }

@@ -225,3 +225,35 @@ func TestScheduleRanking(t *testing.T) {
 		}
 	}
 }
+
+// TestMachineMatrix checks the machine-preset matrix on a memory-bound
+// benchmark: the asymmetric preset (half the cores at half speed) lands
+// below westmere12 at full thread count, the HBM preset above it, and
+// every cell is a parseable speedup.
+func TestMachineMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark sweep is slow")
+	}
+	h := New(Config{Machine: fastMachine(), Cores: []int{8}})
+	tab := h.MachineMatrix([]string{"NPB-CG"}, []string{"westmere12", "embedded4+4", "hbm12"})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if len(row) != 5 {
+		t.Fatalf("row width = %d, want benchmark+cores+3 machines: %v", len(row), row)
+	}
+	sp := make([]float64, 3)
+	for i := range sp {
+		if _, err := fmt.Sscanf(row[2+i], "%f", &sp[i]); err != nil || sp[i] <= 1 {
+			t.Fatalf("cell %q is not a speedup > 1: %v", row[2+i], err)
+		}
+	}
+	west, emb, hbm := sp[0], sp[1], sp[2]
+	if emb >= west {
+		t.Errorf("embedded4+4 %.2f should trail westmere12 %.2f at 8 threads", emb, west)
+	}
+	if hbm <= west {
+		t.Errorf("hbm12 %.2f should beat westmere12 %.2f on a bandwidth-bound benchmark", hbm, west)
+	}
+}

@@ -52,6 +52,12 @@ type Emulator struct {
 	// (the paper's "PredM"); otherwise lengths are used as profiled
 	// ("Pred").
 	UseBurden bool
+	// Speeds, when non-nil, gives each abstract CPU a clock ratio
+	// (machine.Spec.CoreSpeeds order): computation on CPU i takes
+	// 1/Speeds[i mod len] of the profiled time. Nil is the homogeneous
+	// machine and the exact legacy arithmetic. Overhead constants are
+	// runtime costs and are not scaled.
+	Speeds []float64
 	// Tracer, when set, receives one KFFStep event per emulated segment
 	// (worker pseudo-clock advance on an abstract CPU); nil disables
 	// tracing at the cost of one branch per segment.
@@ -133,6 +139,7 @@ type state struct {
 	avail    []clock.Cycles // per-CPU busy-until for nested work
 	lockFree map[int]clock.Cycles
 	burden   float64
+	speeds   []float64 // per-CPU clock ratios; nil = homogeneous
 	ov       omprt.Overheads
 	sched    omprt.Sched
 	ctx      context.Context
@@ -159,7 +166,7 @@ func (st *state) tick() {
 var statePool = sync.Pool{New: func() any { return &state{} }}
 
 // init prepares pooled state for a fresh top-level section.
-func (st *state) init(p int, burden float64, ov omprt.Overheads, sched omprt.Sched, ctx context.Context, tracer obs.ExecTracer) {
+func (st *state) init(p int, burden float64, speeds []float64, ov omprt.Overheads, sched omprt.Sched, ctx context.Context, tracer obs.ExecTracer) {
 	if cap(st.avail) < p {
 		st.avail = make([]clock.Cycles, p)
 	} else {
@@ -174,6 +181,7 @@ func (st *state) init(p int, burden float64, ov omprt.Overheads, sched omprt.Sch
 		clear(st.lockFree)
 	}
 	st.burden = burden
+	st.speeds = speeds
 	st.ov = ov
 	st.sched = sched
 	st.ctx = ctx
@@ -184,6 +192,7 @@ func (st *state) init(p int, burden float64, ov omprt.Overheads, sched omprt.Sch
 func putState(st *state) {
 	st.ctx = nil
 	st.tracer = nil
+	st.speeds = nil
 	statePool.Put(st)
 }
 
@@ -195,7 +204,7 @@ func (e *Emulator) emulateTopSectionCtx(ctx context.Context, sec *tree.Node) clo
 	}
 	st := statePool.Get().(*state)
 	defer putState(st)
-	st.init(p, burden, e.Ov, e.Sched, ctx, e.Tracer)
+	st.init(p, burden, e.Speeds, e.Ov, e.Sched, ctx, e.Tracer)
 	if sec.Pipeline {
 		return emulatePipeline(st, sec, 0, p)
 	}
@@ -457,6 +466,18 @@ func (st *state) scaled(l clock.Cycles) clock.Cycles {
 	return clock.Cycles(float64(l)*st.burden + 0.5)
 }
 
+// scaledOn is scaled for a specific abstract CPU: on a heterogeneous
+// machine the burden-scaled length is additionally divided by the CPU's
+// speed ratio. With nil speeds it is exactly scaled, so homogeneous
+// emulations keep the legacy arithmetic bit-for-bit.
+func (st *state) scaledOn(cpu int, l clock.Cycles) clock.Cycles {
+	if st.speeds == nil {
+		return st.scaled(l)
+	}
+	sp := st.speeds[cpu%len(st.speeds)]
+	return clock.Cycles(float64(l)*st.burden/sp + 0.5)
+}
+
 // execSegment executes one U/L/Sec segment on worker w.
 func execSegment(st *state, w *worker, seg *tree.Node, p int) {
 	switch seg.Kind {
@@ -466,7 +487,7 @@ func execSegment(st *state, w *worker, seg *tree.Node, p int) {
 		// emulators model W faithfully (cores freed, real core
 		// limit); the FF is accurate only while workers <= CPUs.
 		start := w.time
-		w.time += st.scaled(seg.Len)
+		w.time += st.scaledOn(w.cpu, seg.Len)
 		if st.tracer != nil {
 			st.tracer.Exec(obs.ExecEvent{Kind: obs.KFFStep, Time: start, End: w.time, Core: w.cpu, Thread: w.id, Lock: -1})
 		}
@@ -475,7 +496,7 @@ func execSegment(st *state, w *worker, seg *tree.Node, p int) {
 		if f := st.lockFree[seg.LockID]; f > t {
 			t = f
 		}
-		t += st.ov.LockEnter + st.scaled(seg.Len) + st.ov.LockExit
+		t += st.ov.LockEnter + st.scaledOn(w.cpu, seg.Len) + st.ov.LockExit
 		st.lockFree[seg.LockID] = t
 		if st.tracer != nil {
 			st.tracer.Exec(obs.ExecEvent{Kind: obs.KFFStep, Time: w.time, End: t, Core: w.cpu, Thread: w.id, Lock: seg.LockID})

@@ -292,3 +292,40 @@ func TestMultipleTopLevelSections(t *testing.T) {
 		t.Fatalf("predicted = %d, want 3000", got)
 	}
 }
+
+// TestSpeedsHeterogeneous: per-CPU speed ratios scale computation on the
+// abstract CPUs. With zero overheads and (static,1) on two CPUs, Fig. 5's
+// iterations land I0,I2 on CPU 0 and I1 on CPU 1; doubling CPU 0's clock
+// halves its work, and nil Speeds stays bit-identical to the legacy path.
+func TestSpeedsHeterogeneous(t *testing.T) {
+	root := figure5()
+	base := emu(2, omprt.SchedStatic1).PredictTime(root)
+
+	// Speeds of all ones must not change anything even though the scaled
+	// path runs (division by 1 then +0.5 rounding matches st.scaled).
+	ones := &Emulator{Threads: 2, Sched: omprt.SchedStatic1, Speeds: []float64{1, 1}}
+	if got := ones.PredictTime(root); got != base {
+		t.Errorf("unit speeds predicted %d, want %d (legacy)", got, base)
+	}
+
+	// A 2x CPU 0: I0 (650) and I2 (250) take 325 and 125 cycles of clock;
+	// the lock FIFO still serializes L segments in pseudo-time order.
+	fast := &Emulator{Threads: 2, Sched: omprt.SchedStatic1, Speeds: []float64{2, 1}}
+	gotFast := fast.PredictTime(root)
+	if gotFast >= base {
+		t.Errorf("2x CPU 0 predicted %d, want < %d", gotFast, base)
+	}
+
+	// Slowing a CPU makes the section slower, and the asymmetric
+	// prediction is deterministic.
+	slow := &Emulator{Threads: 2, Sched: omprt.SchedStatic1, Speeds: []float64{1, 0.5}}
+	gotSlow := slow.PredictTime(root)
+	if gotSlow <= base {
+		t.Errorf("0.5x CPU 1 predicted %d, want > %d", gotSlow, base)
+	}
+	for i := 0; i < 3; i++ {
+		if again := fast.PredictTime(root); again != gotFast {
+			t.Fatalf("asymmetric FF not deterministic: %d vs %d", again, gotFast)
+		}
+	}
+}

@@ -74,10 +74,10 @@ func emulatePipeline(st *state, sec *tree.Node, start clock.Cycles, p int) clock
 				if f := st.lockFree[seg.LockID]; f > t {
 					t = f
 				}
-				t += st.ov.LockEnter + st.scaled(seg.Len) + st.ov.LockExit
+				t += st.ov.LockEnter + st.scaledOn(w, seg.Len) + st.ov.LockExit
 				st.lockFree[seg.LockID] = t
 			default: // U
-				t += st.scaled(seg.Len)
+				t += st.scaledOn(w, seg.Len)
 			}
 			workerTime[w] = t
 			stageFinish[s] = t

@@ -1,6 +1,9 @@
 package mem
 
-import "prophet/internal/counters"
+import (
+	"prophet/internal/counters"
+	"prophet/internal/machine"
+)
 
 // Cache is a set-associative LRU last-level cache simulator. The paper's
 // tool reads LLC-miss counters instead of simulating (for speed); this
@@ -22,6 +25,11 @@ type Cache struct {
 }
 
 // CacheConfig sizes a cache.
+//
+// CacheConfig is the legacy knob form, kept as a thin wrapper over
+// machine.LLCSpec: zero-valued fields fall back to the DefaultLLC
+// (paper-machine) values in NewCache. New code should size caches from a
+// validated machine.Spec via ConfigFromLLC, which applies no fallbacks.
 type CacheConfig struct {
 	// SizeBytes is the total capacity (default 12 MiB, the Westmere L3
 	// used in the paper).
@@ -35,6 +43,13 @@ type CacheConfig struct {
 // DefaultLLC returns the paper machine's 12 MB 16-way L3.
 func DefaultLLC() CacheConfig {
 	return CacheConfig{SizeBytes: 12 << 20, Ways: 16, LineBytes: counters.LineSize}
+}
+
+// ConfigFromLLC converts a validated machine-spec LLC to the knob form.
+// The spec is taken as-is: validation already rejected the zero values
+// NewCache would otherwise rewrite.
+func ConfigFromLLC(s machine.LLCSpec) CacheConfig {
+	return CacheConfig{SizeBytes: s.SizeBytes, Ways: s.Ways, LineBytes: s.LineBytes}
 }
 
 // NewCache builds a cache simulator. Zero-valued config fields take the

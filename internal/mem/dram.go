@@ -13,9 +13,20 @@
 // the paper's microbenchmark against this model.
 package mem
 
-import "prophet/internal/counters"
+import (
+	"prophet/internal/counters"
+	"prophet/internal/machine"
+)
 
 // DRAMConfig describes the DRAM of the simulated machine.
+//
+// DRAMConfig is the legacy knob form, kept as a thin wrapper over
+// machine.DRAMSpec: zero-valued fields fall back to the DefaultDRAM
+// (paper-machine) values, and it cannot express a second bandwidth
+// domain. New code should construct a validated machine.Spec and use
+// NewDRAMSpec / (*DRAM).ResetSpec (or go through sim.Config.Spec, which
+// does so automatically); the wrapper exists so pre-spec callers keep
+// byte-identical behaviour.
 type DRAMConfig struct {
 	// UnloadedLatency ω₀ is the effective per-miss CPU stall in cycles
 	// when the bus is idle (MLP-adjusted: overlapping misses make this
@@ -71,8 +82,21 @@ type DRAM struct {
 	stretchOK     bool
 	// bwHook, when set, rescales the effective bandwidth (fault
 	// injection: internal/faults models DRAM degradation through it).
-	// No-op by default.
+	// No-op by default. The hook applies to both domains.
 	bwHook func(base float64) float64
+
+	// Second bandwidth domain (machine.DRAMSpec.SecondDomain). The
+	// domains share ω₀ and the knee but accumulate demand separately:
+	// traffic in one NUMA-ish domain does not stretch the other. All
+	// fields stay zero for single-domain machines, whose code path is
+	// byte-identical to the pre-domain model.
+	hasDom2     bool
+	cfg2        DRAMConfig // cfg with the second domain's bandwidth
+	demand2     float64
+	active2     int
+	stretchDem2 float64
+	stretchVal2 float64
+	stretchOK2  bool
 }
 
 // normalized fills zero-value fields with DefaultDRAM values.
@@ -90,16 +114,48 @@ func (c DRAMConfig) normalized() DRAMConfig {
 	return c
 }
 
+// ConfigFromSpec converts validated machine-spec DRAM parameters to the
+// knob form (primary-domain bandwidth; the second domain, if any, is
+// carried by ResetSpec). The spec is taken as-is — validation already
+// rejected the zero values the legacy normalization would rewrite.
+func ConfigFromSpec(s machine.DRAMSpec) DRAMConfig {
+	return DRAMConfig{
+		UnloadedLatency:        s.UnloadedLatency,
+		BandwidthBytesPerCycle: s.BandwidthBytesPerCycle,
+		Knee:                   s.Knee,
+	}
+}
+
 // NewDRAM returns a DRAM model with the given configuration. Zero-value
 // fields fall back to DefaultDRAM values.
 func NewDRAM(cfg DRAMConfig) *DRAM {
 	return &DRAM{cfg: cfg.normalized()}
 }
 
+// NewDRAMSpec returns a DRAM model for a validated machine spec,
+// including its optional second bandwidth domain.
+func NewDRAMSpec(s machine.DRAMSpec) *DRAM {
+	d := &DRAM{}
+	d.ResetSpec(s)
+	return d
+}
+
 // Reset reinitializes the model in place for a fresh run with the given
 // configuration — the pooled-machine equivalent of NewDRAM.
 func (d *DRAM) Reset(cfg DRAMConfig) {
 	*d = DRAM{cfg: cfg.normalized()}
+}
+
+// ResetSpec is Reset for a validated machine spec: no field fallbacks,
+// and the spec's second bandwidth domain (when present) is installed.
+func (d *DRAM) ResetSpec(s machine.DRAMSpec) {
+	cfg := ConfigFromSpec(s)
+	*d = DRAM{cfg: cfg}
+	if sd := s.SecondDomain; sd != nil {
+		d.hasDom2 = true
+		d.cfg2 = cfg
+		d.cfg2.BandwidthBytesPerCycle = sd.BandwidthBytesPerCycle
+	}
 }
 
 // Config returns the model's configuration.
@@ -162,6 +218,61 @@ func (d *DRAM) Stretch() float64 {
 	}
 	v := d.cfg.StretchAt(d.demand)
 	d.stretchDemand, d.stretchVal, d.stretchOK = d.demand, v, true
+	return v
+}
+
+// HasSecondDomain reports whether a second bandwidth domain is installed.
+func (d *DRAM) HasSecondDomain() bool { return d.hasDom2 }
+
+// RegisterDom is Register for a specific bandwidth domain (0 = primary).
+// On single-domain machines only domain 0 exists and RegisterDom(0, ·) is
+// exactly Register.
+func (d *DRAM) RegisterDom(dom int, demand float64) float64 {
+	if dom == 0 {
+		return d.Register(demand)
+	}
+	if demand < 0 {
+		demand = 0
+	}
+	d.demand2 += demand
+	d.active2++
+	return demand
+}
+
+// UnregisterDom removes a demand previously registered on the domain.
+func (d *DRAM) UnregisterDom(dom int, demand float64) {
+	if dom == 0 {
+		d.Unregister(demand)
+		return
+	}
+	d.demand2 -= demand
+	d.active2--
+	if d.demand2 < 0 {
+		d.demand2 = 0
+	}
+	if d.active2 < 0 {
+		d.active2 = 0
+	}
+}
+
+// StretchDom is Stretch for a specific bandwidth domain: each domain's
+// stretch depends only on its own aggregate demand.
+func (d *DRAM) StretchDom(dom int) float64 {
+	if dom == 0 {
+		return d.Stretch()
+	}
+	if d.bwHook != nil {
+		cfg := d.cfg2
+		if b := d.bwHook(cfg.BandwidthBytesPerCycle); b > 0 {
+			cfg.BandwidthBytesPerCycle = b
+		}
+		return cfg.StretchAt(d.demand2)
+	}
+	if d.stretchOK2 && d.demand2 == d.stretchDem2 {
+		return d.stretchVal2
+	}
+	v := d.cfg2.StretchAt(d.demand2)
+	d.stretchDem2, d.stretchVal2, d.stretchOK2 = d.demand2, v, true
 	return v
 }
 

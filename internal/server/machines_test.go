@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"prophet"
+	"prophet/internal/sweep"
+)
+
+// TestMachinesEndpoint: GET /v1/machines lists the preset registry with
+// the default flagged, and rejects other verbs.
+func TestMachinesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableMemoryModel: true})
+	resp, err := http.Get(ts.URL + "/v1/machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/machines: %d %s", resp.StatusCode, body)
+	}
+	var out []machineInfo
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if len(out) < 3 {
+		t.Fatalf("only %d machines listed: %s", len(out), body)
+	}
+	if out[0].Name != prophet.DefaultMachineName || !out[0].Default {
+		t.Errorf("first entry %+v, want the default preset flagged", out[0])
+	}
+	names := map[string]int{}
+	for _, m := range out {
+		names[m.Name] = m.Cores
+		if m.Name != prophet.DefaultMachineName && m.Default {
+			t.Errorf("%s flagged default", m.Name)
+		}
+	}
+	if names["embedded4+4"] != 8 {
+		t.Errorf("embedded4+4 cores = %d, want 8", names["embedded4+4"])
+	}
+
+	post, err := http.Post(ts.URL+"/v1/machines", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/machines: %d, want 405", post.StatusCode)
+	}
+}
+
+// TestPredictMachineVariants: the machine field selects the prediction
+// target; distinct presets give distinct speedups, the default name is
+// the no-field identity, and unknown names are client errors.
+func TestPredictMachineVariants(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableMemoryModel: true})
+	predict := func(machine string) prophet.Estimate {
+		t.Helper()
+		code, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{
+			Workload: "NPB-EP",
+			Request:  prophet.Request{Method: prophet.FastForward, Threads: 8, Machine: machine},
+		})
+		if code != http.StatusOK {
+			t.Fatalf("machine %q: %d %s", machine, code, body)
+		}
+		var est prophet.Estimate
+		if err := json.Unmarshal(body, &est); err != nil {
+			t.Fatal(err)
+		}
+		if est.Err != nil {
+			t.Fatalf("machine %q: estimate error %v", machine, est.Err)
+		}
+		return est
+	}
+
+	def := predict("")
+	if named := predict(prophet.DefaultMachineName); named.Speedup != def.Speedup || named.Time != def.Time {
+		t.Errorf("explicit default machine %+v differs from implicit %+v", named, def)
+	}
+	emb := predict("embedded4+4")
+	if emb.Machine != "embedded4+4" {
+		t.Errorf("estimate echoes machine %q", emb.Machine)
+	}
+	if emb.Speedup == def.Speedup {
+		t.Errorf("embedded4+4 speedup %.3f identical to default", emb.Speedup)
+	}
+
+	code, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{
+		Workload: "NPB-EP",
+		Request:  prophet.Request{Machine: "bogus"},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown machine: %d %s, want 400", code, body)
+	}
+}
+
+// TestSweepMachinesAxis: the machines axis is the outermost grid
+// dimension and each machine's cells carry its name.
+func TestSweepMachinesAxis(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableMemoryModel: true})
+	code, body := postJSON(t, ts.URL+"/v1/sweep", sweepRequest{
+		Workload: "NPB-EP",
+		Machines: []string{"westmere12", "embedded4+4"},
+		Cores:    []int{2, 8},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", code, body)
+	}
+	var sr sweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cells != 4 || len(sr.Outcomes) != 4 {
+		t.Fatalf("cells = %d, outcomes = %d, want 4", sr.Cells, len(sr.Outcomes))
+	}
+	wantMachines := []string{"westmere12", "westmere12", "embedded4+4", "embedded4+4"}
+	for i, o := range sr.Outcomes {
+		if o.Err != nil || o.Value.Err != nil {
+			t.Fatalf("outcome %d failed: %v %v", i, o.Err, o.Value.Err)
+		}
+		if o.Value.Machine != wantMachines[i] {
+			t.Errorf("outcome %d machine %q, want %q", i, o.Value.Machine, wantMachines[i])
+		}
+	}
+	// Same cores column, different machines: distinct speedups.
+	if sr.Outcomes[1].Value.Speedup == sr.Outcomes[3].Value.Speedup {
+		t.Errorf("machines axis produced identical speedups %.3f", sr.Outcomes[1].Value.Speedup)
+	}
+
+	// The axis is validated before admission.
+	code, body = postJSON(t, ts.URL+"/v1/sweep", sweepRequest{
+		Workload: "NPB-EP",
+		Machines: []string{"bogus"},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown machine axis: %d %s, want 400", code, body)
+	}
+	_ = sweep.Outcome[prophet.Estimate]{}
+}

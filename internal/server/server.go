@@ -17,7 +17,7 @@
 //
 // Endpoints: POST /v1/predict, POST /v1/sweep, GET /v1/workloads,
 // POST /v1/workloads (upload an execution profile as a new workload),
-// GET /healthz, GET /readyz, GET /metrics.
+// GET /v1/machines, GET /healthz, GET /readyz, GET /metrics.
 package server
 
 import (
@@ -219,6 +219,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	return s
@@ -372,10 +373,14 @@ func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet
 	// Normalize Threads the way the library does, so "threads":0 and an
 	// explicit machine core count share a cache line.
 	if req.Threads == 0 {
-		req.Threads = prophet.DefaultMachine().Normalized().Cores
+		req.Threads = defaultThreads(req)
 	}
 	key := cellKey(entry, req)
 	if est, ok := s.cache.Get(key); ok {
+		// The key canonicalizes the machine name, so a hit may have been
+		// computed under the other spelling (explicit default name vs
+		// empty); echo the spelling of this request.
+		est.Machine = req.Machine
 		return est, true, nil
 	}
 	if s.cluster != nil && !forwarded {
@@ -426,14 +431,27 @@ func (s *Server) localEstimate(ctx context.Context, workload string, req prophet
 		return prophet.Estimate{Request: req, Err: err}, err
 	}
 	if req.Threads == 0 {
-		req.Threads = prophet.DefaultMachine().Normalized().Cores
+		req.Threads = defaultThreads(req)
 	}
 	key := cellKey(entry, req)
 	if est, ok := s.cache.Get(key); ok {
+		est.Machine = req.Machine
 		return est, nil
 	}
 	est, _, err := s.localCell(ctx, entry, key, req)
 	return est, err
+}
+
+// defaultThreads resolves "threads":0 — the requested machine's core
+// count, falling back to the default machine for unnamed (or not yet
+// validated) machines.
+func defaultThreads(req prophet.Request) int {
+	if req.Machine != "" {
+		if spec, err := prophet.ParseMachineSpec(req.Machine); err == nil {
+			return spec.Cores()
+		}
+	}
+	return prophet.DefaultMachine().Normalized().Cores
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -577,6 +595,28 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		out = append(out, infoFor(s.entries[name]))
 	}
 	s.entriesMu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMachines lists the machine presets a request's machine field (or
+// a sweep's machines axis) can name. The registry is static, so the
+// listing is served without readiness or admission gating.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	specs := prophet.MachinePresets()
+	out := make([]machineInfo, 0, len(specs))
+	for _, spec := range specs {
+		out = append(out, machineInfo{
+			Name:    spec.Name,
+			Desc:    spec.Desc,
+			Cores:   spec.Cores(),
+			Default: spec.Name == prophet.DefaultMachineName,
+		})
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

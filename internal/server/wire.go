@@ -45,13 +45,18 @@ type sweepRequest struct {
 	// MemoryModel toggles burden factors (default true: the paper's
 	// PredM series).
 	MemoryModel *bool `json:"memory_model,omitempty"`
-	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+	// Machines is the machine-preset axis (GET /v1/machines lists the
+	// vocabulary). Empty sweeps the workload's own machine; entries are
+	// deduplicated but keep their given order, like the -machines flag.
+	Machines  []string `json:"machines,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
 }
 
 // sweepResponse is the body of a /v1/sweep reply. Outcomes are indexed
-// in deterministic grid order: methods, then paradigms, then schedules,
-// then cores (cores innermost — consecutive outcomes trace one curve of
-// a Fig. 12 panel).
+// in deterministic grid order: machines, then methods, then paradigms,
+// then schedules, then cores (machines outermost — a variant machine
+// recalibrates, so its cells group together; cores innermost —
+// consecutive outcomes trace one curve of a Fig. 12 panel).
 type sweepResponse struct {
 	Workload string                            `json:"workload"`
 	Cells    int                               `json:"cells"`
@@ -71,6 +76,14 @@ type workloadInfo struct {
 	Paradigm string `json:"paradigm"`
 	Sched    string `json:"sched"`
 	TreeHash string `json:"tree_hash"`
+}
+
+// machineInfo is one entry of GET /v1/machines.
+type machineInfo struct {
+	Name    string `json:"name"`
+	Desc    string `json:"desc"`
+	Cores   int    `json:"cores"`
+	Default bool   `json:"default,omitempty"`
 }
 
 // importStats is the conversion accounting of one profile upload, the
@@ -125,7 +138,38 @@ func validateRequest(req prophet.Request) error {
 	if req.Sched.Chunk < 0 {
 		return badRequestf("schedule chunk must be >= 0, got %d", req.Sched.Chunk)
 	}
+	if req.Machine != "" {
+		if _, err := prophet.ParseMachineSpec(req.Machine); err != nil {
+			return badRequestf("%v (GET /v1/machines lists them)", err)
+		}
+	}
 	return nil
+}
+
+// normalizeMachines validates and deduplicates a machines axis,
+// preserving the given order. Empty means "the workload's own machine",
+// represented as the single empty name.
+func normalizeMachines(machines []string) ([]string, error) {
+	if len(machines) == 0 {
+		return []string{""}, nil
+	}
+	if len(machines) > maxAxisLen {
+		return nil, badRequestf("machines axis has %d entries, limit %d", len(machines), maxAxisLen)
+	}
+	seen := make(map[string]bool, len(machines))
+	out := make([]string, 0, len(machines))
+	for _, m := range machines {
+		spec, err := prophet.ParseMachineSpec(strings.TrimSpace(m))
+		if err != nil {
+			return nil, badRequestf("%v (GET /v1/machines lists them)", err)
+		}
+		if seen[spec.Name] {
+			continue
+		}
+		seen[spec.Name] = true
+		out = append(out, spec.Name)
+	}
+	return out, nil
 }
 
 // normalizeCores validates and normalizes a cores axis: every entry a
@@ -155,8 +199,12 @@ func normalizeCores(cores []int) ([]int, error) {
 }
 
 // expandGrid turns a sweep request into the deterministic cell order:
-// methods → paradigms → scheds → cores, cores innermost.
+// machines → methods → paradigms → scheds → cores, cores innermost.
 func expandGrid(sr sweepRequest, entry *workloadEntry) ([]prophet.Request, error) {
+	machines, err := normalizeMachines(sr.Machines)
+	if err != nil {
+		return nil, err
+	}
 	methods := sr.Methods
 	if len(methods) == 0 {
 		methods = []string{"ff"}
@@ -176,7 +224,7 @@ func expandGrid(sr sweepRequest, entry *workloadEntry) ([]prophet.Request, error
 	if len(cores) == 0 {
 		cores = entry.threadCounts
 	}
-	cores, err := normalizeCores(cores)
+	cores, err = normalizeCores(cores)
 	if err != nil {
 		return nil, err
 	}
@@ -213,20 +261,22 @@ func expandGrid(sr sweepRequest, entry *workloadEntry) ([]prophet.Request, error
 		ss = append(ss, parsed)
 	}
 
-	n := len(ms) * len(ps) * len(ss) * len(cores)
+	n := len(machines) * len(ms) * len(ps) * len(ss) * len(cores)
 	if n > maxGridCells {
 		return nil, badRequestf("sweep grid has %d cells, limit %d", n, maxGridCells)
 	}
 	grid := make([]prophet.Request, 0, n)
-	for _, m := range ms {
-		for _, p := range ps {
-			for _, sc := range ss {
-				for _, c := range cores {
-					req := prophet.Request{Method: m, Threads: c, Paradigm: p, Sched: sc, MemoryModel: useMem}
-					if err := validateRequest(req); err != nil {
-						return nil, err
+	for _, mach := range machines {
+		for _, m := range ms {
+			for _, p := range ps {
+				for _, sc := range ss {
+					for _, c := range cores {
+						req := prophet.Request{Method: m, Threads: c, Paradigm: p, Sched: sc, MemoryModel: useMem, Machine: mach}
+						if err := validateRequest(req); err != nil {
+							return nil, err
+						}
+						grid = append(grid, req)
 					}
-					grid = append(grid, req)
 				}
 			}
 		}
@@ -234,12 +284,26 @@ func expandGrid(sr sweepRequest, entry *workloadEntry) ([]prophet.Request, error
 	return grid, nil
 }
 
+// machineOf canonicalizes a request's machine for caching and routing:
+// an empty field means the workload profile's own machine, so an
+// explicit request for that machine shares the cache line (and, in
+// cluster mode, the owning replica) with the implicit default.
+func machineOf(entry *workloadEntry, req prophet.Request) string {
+	if req.Machine != "" {
+		return req.Machine
+	}
+	return entry.prof.MachineName()
+}
+
 // cellKey is the cache/singleflight key of one prediction: the workload,
 // the hash of its compressed program tree (so a re-registered workload
-// with a different tree never collides with stale entries), and the
-// request in its canonical String() spellings.
+// with a different tree never collides with stale entries), the
+// canonical machine name, and the request in its canonical String()
+// spellings. The machine participates in the key, so in cluster mode a
+// given (workload, machine) pair's variant profile and calibration warm
+// up on its owning replica only.
 func cellKey(entry *workloadEntry, req prophet.Request) string {
-	return fmt.Sprintf("%s\x00%s\x00%s|%d|%s|%s|%t",
-		entry.name, entry.treeHash,
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%s|%d|%s|%s|%t",
+		entry.name, entry.treeHash, machineOf(entry, req),
 		req.Method, req.Threads, req.Paradigm, req.Sched, req.MemoryModel)
 }

@@ -2,7 +2,11 @@
 
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"prophet/internal/machine"
+)
 
 // TestSimStepZeroAlloc is the allocation gate for the engine hot path:
 // with observability disabled, processing an event (work slice start/end,
@@ -45,5 +49,53 @@ func TestSimStepZeroAlloc(t *testing.T) {
 	// of magnitude.
 	if large > small+64 {
 		t.Errorf("sim step path allocates: %.1f allocs at 16 steps vs %.1f at 4096 steps", small, large)
+	}
+}
+
+// TestSimSpecStepZeroAlloc is the same gate for spec-built machines: the
+// immutable-spec/pooled-instance split must keep the hot path at the same
+// allocs/op — a pooled machine reset against a spec (including an
+// asymmetric one, which takes the scaled slice path) derives speeds and
+// domains into retained storage, never fresh allocations.
+func TestSimSpecStepZeroAlloc(t *testing.T) {
+	spec := &machine.Spec{
+		Name:       "t-allocgate",
+		CoreGroups: []machine.CoreGroup{{Count: 2, Speed: 1}, {Count: 2, Speed: 0.5}},
+		Quantum:    10_000,
+		// ContextSwitch 0 in a spec is literal (free switches), matching
+		// the flat gate's ContextSwitch: -1.
+		ContextSwitch: 0,
+		LLC:           machine.LLCSpec{SizeBytes: 12 << 20, Ways: 16, LineBytes: 64},
+		DRAM:          machine.DRAMSpec{UnloadedLatency: 40, BandwidthBytesPerCycle: 8, Knee: 0.75},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: spec}
+	run := func(steps int) {
+		_, _, err := RunOpt(cfg, RunOpts{}, func(m *Thread) {
+			ws := make([]*Thread, 0, 8)
+			for k := 0; k < 8; k++ {
+				ws = append(ws, m.Spawn(func(w *Thread) {
+					for i := 0; i < steps; i++ {
+						w.WorkMem(5_000, 20)
+					}
+				}))
+			}
+			for _, w := range ws {
+				m.Join(w)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run(16)
+	}
+	small := testing.AllocsPerRun(10, func() { run(16) })
+	large := testing.AllocsPerRun(10, func() { run(4096) })
+	if large > small+64 {
+		t.Errorf("spec-machine step path allocates: %.1f allocs at 16 steps vs %.1f at 4096 steps", small, large)
 	}
 }

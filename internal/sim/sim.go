@@ -47,22 +47,43 @@ import (
 
 	"prophet/internal/clock"
 	"prophet/internal/eventq"
+	"prophet/internal/machine"
 	"prophet/internal/mem"
 	"prophet/internal/obs"
 )
 
 // Config describes the simulated machine.
+//
+// The machine itself is described by Spec; the Cores/Quantum/
+// ContextSwitch/DRAM knobs are the legacy flat form, kept working as a
+// thin wrapper (zero values fall back to the paper-machine defaults,
+// exactly as before specs existed). When Spec is set it is the single
+// source of machine truth and the flat knobs are derived from it — with
+// one exception: ContextSwitch < 0 still disables the switch cost, the
+// run-mode override calibration and exact-makespan tests rely on.
+// MaxEvents and MaxVirtualTime are run budgets, not machine properties,
+// and always come from the Config.
 type Config struct {
+	// Spec, when non-nil, is the validated machine specification
+	// (immutable; use machine.ParseSpec or the registry presets). It
+	// defines the core layout — including per-group speed ratios for
+	// asymmetric machines — the scheduling quantum, the context-switch
+	// cost, and the DRAM model including an optional second bandwidth
+	// domain.
+	Spec *machine.Spec
 	// Cores is the number of processors (default 12, the paper machine).
+	// Ignored when Spec is set.
 	Cores int
 	// Quantum is the OS scheduling time slice in cycles (default 50k).
+	// Ignored when Spec is set.
 	Quantum clock.Cycles
 	// ContextSwitch is the overhead added when a core switches between
 	// threads. Zero selects the default (1000 cycles); a negative value
 	// disables the cost entirely (used by tests that assert exact
-	// makespans).
+	// makespans, and honoured even when Spec is set).
 	ContextSwitch clock.Cycles
 	// DRAM configures the memory system (defaults from mem.DefaultDRAM).
+	// Ignored when Spec is set.
 	DRAM mem.DRAMConfig
 	// MaxEvents is the watchdog budget on processed simulator events;
 	// a run that exceeds it fails with *BudgetError instead of spinning
@@ -84,6 +105,20 @@ func DefaultConfig() Config {
 func (c Config) Normalized() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
+	if s := c.Spec; s != nil {
+		// The spec is the source of truth: derive the flat knobs from it
+		// verbatim (specs are validated, never rewritten). Only the
+		// ContextSwitch < 0 run-mode override survives.
+		c.Cores = s.Cores()
+		c.Quantum = s.Quantum
+		if c.ContextSwitch < 0 {
+			c.ContextSwitch = 0
+		} else {
+			c.ContextSwitch = s.ContextSwitch
+		}
+		c.DRAM = mem.ConfigFromSpec(s.DRAM)
+		return c
+	}
 	d := DefaultConfig()
 	if c.Cores <= 0 {
 		c.Cores = d.Cores
@@ -227,6 +262,12 @@ type coreState struct {
 	gen         uint64
 	quantumLeft clock.Cycles
 	lastThread  *Thread
+	// speed is the core's clock ratio from the machine spec (1 on
+	// homogeneous machines, which take the exact legacy timing path).
+	speed float64
+	// dom is the core's DRAM bandwidth domain (0 unless the spec has a
+	// second domain).
+	dom uint8
 }
 
 // enginePhase is the resumable position inside the engine state machine.
@@ -322,10 +363,37 @@ func New(cfg Config) *Machine {
 		locks: make(map[int]*lockState),
 		done:  make(chan struct{}, 1),
 	}
+	if cfg.Spec != nil {
+		m.dram.ResetSpec(cfg.Spec.DRAM)
+	}
 	for i := range m.cores {
 		m.cores[i].quantumLeft = cfg.Quantum
 	}
+	m.applyCoreSpec(cfg.Spec)
 	return m
+}
+
+// applyCoreSpec stamps each core's speed ratio and DRAM bandwidth domain
+// from the spec. A nil spec (legacy flat config) is a homogeneous
+// single-domain machine: every core at speed 1 on domain 0, the exact
+// pre-spec timing path.
+func (m *Machine) applyCoreSpec(spec *machine.Spec) {
+	dom2 := 0
+	if spec != nil && spec.DRAM.SecondDomain != nil {
+		dom2 = spec.DRAM.SecondDomain.Cores
+	}
+	n := len(m.cores)
+	for i := range m.cores {
+		c := &m.cores[i]
+		c.speed = 1
+		if spec != nil {
+			c.speed = spec.SpeedOf(i)
+		}
+		c.dom = 0
+		if dom2 > 0 && i >= n-dom2 {
+			c.dom = 1
+		}
+	}
 }
 
 // reset prepares a pooled machine for a fresh run. Heap, core, ready and
@@ -335,7 +403,14 @@ func (m *Machine) reset(cfg Config) {
 	cfg = cfg.withDefaults()
 	m.cfg = cfg
 	m.ctx = context.Background()
-	m.dram.Reset(cfg.DRAM)
+	// The reset is keyed on the spec: a pooled machine re-derives its
+	// DRAM domains and per-core speeds from whatever spec (or legacy
+	// flat config) the next run carries, reusing all storage.
+	if cfg.Spec != nil {
+		m.dram.ResetSpec(cfg.Spec.DRAM)
+	} else {
+		m.dram.Reset(cfg.DRAM)
+	}
 	m.now = 0
 	m.ready = m.ready[:0]
 	if cap(m.cores) >= cfg.Cores {
@@ -346,6 +421,7 @@ func (m *Machine) reset(cfg Config) {
 	for i := range m.cores {
 		m.cores[i] = coreState{quantumLeft: cfg.Quantum}
 	}
+	m.applyCoreSpec(cfg.Spec)
 	m.events.Reset()
 	m.seq = 0
 	m.live = 0
@@ -698,6 +774,13 @@ func (m *Machine) startOn(i int, t *Thread) *Thread {
 func (m *Machine) startSlice(i int, overhead clock.Cycles) {
 	c := &m.cores[i]
 	t := c.running
+	if c.speed != 1 {
+		// Asymmetric machines take a separate path so the speed-1 math
+		// below stays literally the pre-spec code (byte-identical
+		// timing on every homogeneous machine, westmere12 included).
+		m.startSliceScaled(i, overhead)
+		return
+	}
 	stretch := 1.0
 	if t.missesLeft > 0 {
 		if m.demandOK && t.instrLeft == m.demandInstr && t.missesLeft == m.demandMisses {
@@ -706,10 +789,41 @@ func (m *Machine) startSlice(i int, overhead clock.Cycles) {
 			t.demand = m.cfg.DRAM.UnconstrainedDemand(t.instrLeft, t.missesLeft)
 			m.demandInstr, m.demandMisses, m.demandVal, m.demandOK = t.instrLeft, t.missesLeft, t.demand, true
 		}
-		m.dram.Register(t.demand)
-		stretch = m.dram.Stretch()
+		m.dram.RegisterDom(int(c.dom), t.demand)
+		stretch = m.dram.StretchDom(int(c.dom))
 	}
 	total := t.instrLeft + t.missesLeft*m.cfg.DRAM.UnloadedLatency*stretch
+	dur := clock.Cycles(total + 0.5)
+	if dur < 1 {
+		dur = 1
+	}
+	work := dur
+	if q := c.quantumLeft; work > q {
+		work = q
+	}
+	m.scheduleSlice(i, overhead, work)
+	t.sliceWork = work
+	t.sliceDur = dur
+}
+
+// startSliceScaled is startSlice for a core whose speed ratio is not 1:
+// the instruction portion of the segment retires speed× faster (so a
+// half-rate efficiency core takes twice the cycles), while memory stalls
+// stay on the nominal clock — which also raises (or lowers) the
+// unconstrained DRAM demand the segment generates. The demand memo is
+// bypassed: it is keyed on the segment alone and would alias segments
+// running on cores of different speeds.
+func (m *Machine) startSliceScaled(i int, overhead clock.Cycles) {
+	c := &m.cores[i]
+	t := c.running
+	sp := c.speed
+	stretch := 1.0
+	if t.missesLeft > 0 {
+		t.demand = m.cfg.DRAM.UnconstrainedDemand(t.instrLeft/sp, t.missesLeft)
+		m.dram.RegisterDom(int(c.dom), t.demand)
+		stretch = m.dram.StretchDom(int(c.dom))
+	}
+	total := t.instrLeft/sp + t.missesLeft*m.cfg.DRAM.UnloadedLatency*stretch
 	dur := clock.Cycles(total + 0.5)
 	if dur < 1 {
 		dur = 1
@@ -739,7 +853,7 @@ func (m *Machine) sliceEnd(i int) *Thread {
 	c := &m.cores[i]
 	t := c.running
 	if t.demand > 0 {
-		m.dram.Unregister(t.demand)
+		m.dram.UnregisterDom(int(c.dom), t.demand)
 		t.demand = 0
 	}
 	work := t.sliceWork

@@ -77,6 +77,12 @@ type Request struct {
 	// MemoryModel applies burden factors when true (the paper's PredM
 	// series; Pred when false).
 	MemoryModel bool `json:"memory_model"`
+	// Machine, when non-empty, names the machine preset to predict for
+	// (machine.ParseSpec vocabulary; see MachineNames). The profile is
+	// re-profiled and recalibrated for the named machine (cached per
+	// name). Empty predicts on the profile's own machine — the field is
+	// omitted from JSON then, so pre-machine payloads are unchanged.
+	Machine string `json:"machine,omitempty"`
 }
 
 // Estimate is a prediction result. It marshals to JSON with stable field
@@ -154,6 +160,22 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 			est = Estimate{Request: req, Err: err}
 		}
 	}()
+	if req.Machine != "" {
+		vp, verr := p.forMachine(ctx, req.Machine)
+		if verr != nil {
+			err = verr
+			return Estimate{Request: req, Err: err}, err
+		}
+		if vp != p {
+			// Estimate against the variant, which owns the machine the
+			// name resolves to; the result keeps the requested name.
+			sub := req
+			sub.Machine = ""
+			est, err := vp.EstimateCtx(ctx, sub)
+			est.Machine = req.Machine
+			return est, err
+		}
+	}
 	t := p.threadsOf(req)
 	req.Threads = t
 	if err := ctx.Err(); err != nil {
@@ -184,11 +206,16 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 	case CriticalPathBound:
 		speedup = baseline.KismetBound(p.Tree, t)
 	default: // FastForward
+		var speeds []float64
+		if s := p.opts.Machine.Spec; s != nil {
+			speeds = s.CoreSpeeds(t)
+		}
 		e := &ff.Emulator{
 			Threads:   t,
 			Sched:     req.Sched,
 			Ov:        omprt.DefaultOverheads(),
 			UseBurden: useMem,
+			Speeds:    speeds,
 			Tracer:    p.opts.Observer.Trace,
 		}
 		speedup, err = e.SpeedupCtx(ctx, p.Tree)
@@ -244,15 +271,29 @@ func (p *Profile) EstimateOnHost(req Request) Estimate {
 // completion — real goroutines spinning real delays have no preemption
 // point the library could honour without perturbing the measurement.
 func (p *Profile) EstimateOnHostCtx(ctx context.Context, req Request) (est Estimate, err error) {
-	t := p.threadsOf(req)
-	req.Threads = t
-	req.Method = Synthesizer
 	defer func() {
 		recoverToError(&err)
 		if err != nil {
 			est = Estimate{Request: req, Err: err}
 		}
 	}()
+	if req.Machine != "" {
+		vp, verr := p.forMachine(ctx, req.Machine)
+		if verr != nil {
+			err = verr
+			return Estimate{Request: req, Err: err}, err
+		}
+		if vp != p {
+			sub := req
+			sub.Machine = ""
+			est, err := vp.EstimateOnHostCtx(ctx, sub)
+			est.Machine = req.Machine
+			return est, err
+		}
+	}
+	t := p.threadsOf(req)
+	req.Threads = t
+	req.Method = Synthesizer
 	if err := ctx.Err(); err != nil {
 		return Estimate{Request: req, Err: err}, err
 	}
@@ -309,6 +350,17 @@ func (p *Profile) RealSpeedup(req Request) float64 {
 // returns the typed error instead of panicking.
 func (p *Profile) RealSpeedupCtx(ctx context.Context, req Request) (s float64, err error) {
 	defer recoverToError(&err)
+	if req.Machine != "" {
+		vp, err := p.forMachine(ctx, req.Machine)
+		if err != nil {
+			return 0, err
+		}
+		if vp != p {
+			sub := req
+			sub.Machine = ""
+			return vp.RealSpeedupCtx(ctx, sub)
+		}
+	}
 	t := p.threadsOf(req)
 	return realrun.SpeedupCtx(ctx, p.Tree, realrun.Config{
 		Machine:  p.opts.Machine,
@@ -341,6 +393,17 @@ func (p *Profile) Timeline(req Request, width int) (gantt string, utilization ma
 // the timeline of whatever executed up to the failure.
 func (p *Profile) TimelineCtx(ctx context.Context, req Request, width int) (gantt string, utilization map[int]float64, err error) {
 	defer recoverToError(&err)
+	if req.Machine != "" {
+		vp, verr := p.forMachine(ctx, req.Machine)
+		if verr != nil {
+			return "", nil, verr
+		}
+		if vp != p {
+			sub := req
+			sub.Machine = ""
+			return vp.TimelineCtx(ctx, sub, width)
+		}
+	}
 	rec := &sim.Recorder{}
 	_, runErr := realrun.TimeTracedCtx(ctx, p.Tree, realrun.Config{
 		Machine:  p.opts.Machine,

@@ -32,6 +32,7 @@ import (
 	"prophet/internal/clock"
 	"prophet/internal/compress"
 	"prophet/internal/counters"
+	"prophet/internal/machine"
 	"prophet/internal/memmodel"
 	"prophet/internal/obs"
 	"prophet/internal/sim"
@@ -105,6 +106,60 @@ type Profile struct {
 	SerialCycles clock.Cycles
 
 	opts Options
+	// prog is the annotated program the profile came from, retained so
+	// machine-variant requests (Request.Machine) can re-profile against
+	// the variant's memory parameters; nil for tree-only profiles.
+	prog Program
+	// variants caches one derived profile per requested machine name.
+	// Building a variant re-profiles and recalibrates, which is worth
+	// sharing across the estimates of a -machines sweep; singleflight, so
+	// concurrent requests for one machine do the work once.
+	variants sweep.Cache[string, *Profile]
+}
+
+// MachineName returns the name of the profile's target machine: the spec
+// name when profiled against a machine spec, the default preset's name
+// when the flat knobs match the paper machine, and "" for an unnamed
+// custom flat configuration.
+func (p *Profile) MachineName() string {
+	if s := p.opts.Machine.Spec; s != nil {
+		return s.Name
+	}
+	n := p.opts.Machine.Normalized()
+	d := sim.Config{Spec: machine.Default()}.Normalized()
+	if n.Cores == d.Cores && n.Quantum == d.Quantum && n.ContextSwitch == d.ContextSwitch && n.DRAM == d.DRAM {
+		return machine.DefaultName
+	}
+	return ""
+}
+
+// forMachine resolves a Request.Machine name to the profile to estimate
+// against: the receiver itself when the name is empty or already the
+// profile's machine, otherwise a cached variant profiled for the named
+// preset. Program-backed profiles re-profile (segment lengths depend on
+// the machine's unloaded memory latency); tree-only profiles keep the
+// profiled lengths on a cloned tree and recalibrate burden factors only.
+func (p *Profile) forMachine(ctx context.Context, name string) (*Profile, error) {
+	if name == "" || name == p.MachineName() {
+		return p, nil
+	}
+	spec, err := machine.ParseSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.variants.Get(name, func() (*Profile, error) {
+		vo := p.opts
+		vo.Machine = sim.Config{
+			Spec:           spec,
+			MaxEvents:      p.opts.Machine.MaxEvents,
+			MaxVirtualTime: p.opts.Machine.MaxVirtualTime,
+		}
+		vo.MemModel = nil // calibrate against the variant machine
+		if p.prog != nil {
+			return ProfileProgramCtx(ctx, p.prog, &vo)
+		}
+		return ProfileTreeCtx(ctx, p.Tree.Clone(), &vo)
+	})
 }
 
 // calibrated caches one memory model per machine configuration —
@@ -159,7 +214,10 @@ func ProfileProgramCtx(ctx context.Context, prog Program, opts *Options) (p *Pro
 	}
 	o := opts.withDefaults()
 	tm := o.Observer.Metrics.StartTimer(obs.MStageProfile)
-	root, prof, err := trace.Profile(prog, o.Machine.DRAM)
+	// Normalize the machine first so spec-built configs (whose flat DRAM
+	// knobs are zero) profile against the spec's memory parameters; for
+	// legacy flat configs this matches the profiler's own defaulting.
+	root, prof, err := trace.Profile(prog, o.Machine.Normalized().DRAM)
 	tm.Stop()
 	if err != nil {
 		return nil, err
@@ -169,6 +227,7 @@ func ProfileProgramCtx(ctx context.Context, prog Program, opts *Options) (p *Pro
 		Counters:     prof.Counters(),
 		SerialCycles: root.TotalLen(),
 		opts:         o,
+		prog:         prog,
 	}
 	if o.CompressTolerance >= 0 {
 		tm := o.Observer.Metrics.StartTimer(obs.MStageCompress)
