@@ -107,6 +107,8 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a pipeline metrics snapshot as JSON to this file (\"-\" = stdout)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap (allocs) profile to this file at exit")
+		surrFlag   = flag.Bool("surrogate", false, "arm the learned surrogate predictor: confident repeat cells answer from the model instead of emulating (surrogate.* series land in -metrics)")
+		surrMaxErr = flag.Float64("surrogate-maxerr", 0.05, "max cross-validated relative error a surrogate answer may carry")
 	)
 	flag.Parse()
 
@@ -183,6 +185,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var surr *prophet.Surrogate
+	if *surrFlag {
+		if *surrMaxErr <= 0 || *surrMaxErr >= 1 {
+			fmt.Fprintf(os.Stderr, "-surrogate-maxerr must be in (0, 1), got %v\n", *surrMaxErr)
+			os.Exit(2)
+		}
+		surr = prophet.NewSurrogate(prophet.SurrogateConfig{MaxRelErr: *surrMaxErr, Metrics: metrics})
+	}
 
 	var (
 		prof     *prophet.Profile
@@ -199,7 +209,7 @@ func main() {
 		}
 		name = *importPath + *foldedPath // the one that is set
 		fmt.Printf("imported %s: %s\n", name, stats)
-		prof, err = prophet.ProfileTreeCtx(ctx, root, &prophet.Options{ThreadCounts: cores, Observer: observer})
+		prof, err = prophet.ProfileTreeCtx(ctx, root, &prophet.Options{ThreadCounts: cores, Observer: observer, Surrogate: surr})
 		if err != nil {
 			fail("profile", err)
 		}
@@ -215,7 +225,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tree parse:", err)
 			os.Exit(2)
 		}
-		prof, err = prophet.ProfileTreeCtx(ctx, &root, &prophet.Options{ThreadCounts: cores, Observer: observer})
+		prof, err = prophet.ProfileTreeCtx(ctx, &root, &prophet.Options{ThreadCounts: cores, Observer: observer, Surrogate: surr})
 		if err != nil {
 			fail("profile", err)
 		}
@@ -228,7 +238,7 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("profiling %s (%s)...\n", w.Name, w.Desc)
-		prof, err = prophet.ProfileProgramCtx(ctx, w.Program, &prophet.Options{ThreadCounts: cores, Observer: observer})
+		prof, err = prophet.ProfileProgramCtx(ctx, w.Program, &prophet.Options{ThreadCounts: cores, Observer: observer, Surrogate: surr})
 		if err != nil {
 			fail("profile", err)
 		}

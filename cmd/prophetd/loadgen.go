@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"prophet"
+	"prophet/internal/server"
 )
 
 // prophetd loadgen hammers a running daemon with a deterministic mix of
@@ -122,6 +123,7 @@ func loadgenMain(args []string) int {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		perStream = map[string][]time.Duration{}
 		statuses  = map[int]int{}
 		perTarget = map[string]*targetStats{}
 		failures  int
@@ -176,6 +178,18 @@ func loadgenMain(args []string) int {
 				} else {
 					statuses[resp.StatusCode]++
 					latencies = append(latencies, lat)
+					if resp.StatusCode == http.StatusOK {
+						// Bucket by serving tier so a cache (or surrogate)
+						// hitting µs answers does not hide emulation tail
+						// latency in one blended percentile stream.
+						stream := "sweep"
+						if sh.path == "/v1/predict" {
+							if stream = resp.Header.Get(server.SourceHeader); stream == "" {
+								stream = "unlabeled" // pre-source daemon
+							}
+						}
+						perStream[stream] = append(perStream[stream], lat)
+					}
 				}
 				mu.Unlock()
 				if err == nil {
@@ -216,13 +230,26 @@ func loadgenMain(args []string) int {
 	}
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		pct := func(p float64) time.Duration {
-			i := int(p * float64(len(latencies)-1))
-			return latencies[i]
+		pct := func(ls []time.Duration, p float64) time.Duration {
+			return ls[int(p*float64(len(ls)-1))]
 		}
 		fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
-			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+			pct(latencies, 0.50).Round(time.Microsecond), pct(latencies, 0.95).Round(time.Microsecond),
+			pct(latencies, 0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+		// One percentile line per serving tier, so the cache/surrogate
+		// fast paths and the emulation path each show their own tail.
+		// The aggregate line above is the fallback when a stream is
+		// empty (or the daemon predates the source header).
+		for _, stream := range []string{"cache", "surrogate", "emulated", "sweep", "unlabeled"} {
+			ls := perStream[stream]
+			if len(ls) == 0 {
+				continue
+			}
+			sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+			fmt.Printf("    %-9s (%4d): p50 %v  p95 %v  p99 %v\n", stream, len(ls),
+				pct(ls, 0.50).Round(time.Microsecond), pct(ls, 0.95).Round(time.Microsecond),
+				pct(ls, 0.99).Round(time.Microsecond))
+		}
 	}
 	if failures > 0 {
 		return 1

@@ -10,6 +10,7 @@
 //	prophetd [-addr :8057] [-bench all | MD-OMP,NPB-FT] [-cores 2,4,6,8,10,12]
 //	         [-workers N] [-max-inflight M] [-cache 4096] [-no-mem]
 //	         [-request-timeout 30s] [-drain 15s]
+//	         [-surrogate [-surrogate-maxerr 0.05] [-surrogate-seed N]]
 //	prophetd -cluster -peers http://h1:8057,http://h2:8057 [-self URL]
 //	         [-replicas 2] [-hedge-after 30ms] [-retries 1]
 //	         [-probe-interval 1s] [-breaker-failures 3] [-breaker-cooldown 2s]
@@ -22,6 +23,8 @@
 //	GET  /v1/workloads registered workloads
 //	POST /v1/workloads?name=N upload a pprof or folded-stacks profile
 //	                   and register it as a servable workload
+//	GET  /v1/machines  machine presets    POST /v1/machines  register a
+//	                   custom machine spec (JSON MachineSpec body)
 //	GET  /healthz      liveness       GET /readyz  profiles loaded
 //	GET  /metrics      JSON snapshot of the obs registry
 //
@@ -75,6 +78,10 @@ func serveMain(args []string) int {
 		maxBatch    = fs.Int("max-batch", 64, "max cells per coalesced batch")
 		maxImport   = fs.Int64("max-import-bytes", 8<<20, "profile-upload size cap for POST /v1/workloads (negative disables uploads)")
 
+		surrogate       = fs.Bool("surrogate", false, "arm the learned surrogate predictor in front of the emulation stack")
+		surrogateMaxErr = fs.Float64("surrogate-maxerr", 0.05, "max cross-validated relative error a surrogate answer may carry")
+		surrogateSeed   = fs.Int64("surrogate-seed", 0, "seed for the surrogate's deterministic reservoir sampling")
+
 		clusterMode    = fs.Bool("cluster", false, "serve as one replica of a fleet: route cells by consistent hash across -peers")
 		peersFlag      = fs.String("peers", "", "comma-separated base URLs of every replica (this one is added if missing)")
 		selfFlag       = fs.String("self", "", "this replica's advertised base URL (default http://127.0.0.1<-addr port>)")
@@ -116,6 +123,17 @@ func serveMain(args []string) int {
 			return 2
 		}
 		cfg.Cores = cores
+	}
+	if *surrogate {
+		if *surrogateMaxErr <= 0 || *surrogateMaxErr >= 1 {
+			fmt.Fprintf(os.Stderr, "prophetd: -surrogate-maxerr must be in (0, 1), got %v\n", *surrogateMaxErr)
+			return 2
+		}
+		cfg.Surrogate = &prophet.SurrogateConfig{
+			MaxRelErr: *surrogateMaxErr,
+			Seed:      *surrogateSeed,
+		}
+		log.Printf("surrogate armed: confidence bound %.1f%% rel error", *surrogateMaxErr*100)
 	}
 	if *clusterMode {
 		self := *selfFlag

@@ -55,6 +55,10 @@ var (
 	// ErrUnknownMachine: a machine name (Request.Machine, -machines, a
 	// daemon request's machine field) resolves to no registered preset.
 	ErrUnknownMachine = machine.ErrUnknownSpec
+	// ErrDuplicateMachineSpec: RegisterMachineSpec (or POST /v1/machines)
+	// named a spec that is already registered; specs are immutable after
+	// publication, so names can never be rebound.
+	ErrDuplicateMachineSpec = machine.ErrDuplicateSpec
 )
 
 // Diagnostic error types, re-exported so callers can errors.As without
@@ -110,6 +114,7 @@ func isProphetError(err error) bool {
 		ErrLockMisuse, ErrBudgetExceeded, context.Canceled,
 		context.DeadlineExceeded, ErrProfileCorrupt, ErrProfileEmpty,
 		ErrProfileTooLarge, ErrInvalidMachineSpec, ErrUnknownMachine,
+		ErrDuplicateMachineSpec,
 	} {
 		if errors.Is(err, sentinel) {
 			return true

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,11 @@ import (
 // DefaultName is the registry name of the paper machine — the spec every
 // request without an explicit machine runs against.
 const DefaultName = "westmere12"
+
+// ErrDuplicateSpec is the sentinel for Register calls whose name is
+// already taken: specs are immutable after publication, so a name can
+// never be rebound (the server maps this to HTTP 409).
+var ErrDuplicateSpec = errors.New("machine: spec already registered")
 
 // The preset registry. Lookup hands out the registered pointer itself:
 // specs are immutable after registration, so one canonical *Spec per name
@@ -33,7 +39,7 @@ func Register(s *Spec) error {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	if _, dup := registry.specs[s.Name]; dup {
-		return fmt.Errorf("machine: spec %q already registered", s.Name)
+		return fmt.Errorf("%w: %q", ErrDuplicateSpec, s.Name)
 	}
 	registry.specs[s.Name] = s
 	return nil

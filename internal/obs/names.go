@@ -110,6 +110,27 @@ const (
 
 	// Latency of winning forwarded cell calls (nanosecond histogram).
 	MClusterForwardLatency = "cluster.forward.latency_ns"
+
+	// Learned surrogate predictor (internal/surrogate): confident hits
+	// served from the model, fallbacks to full emulation (unconfident or
+	// untrained neighborhoods), samples accepted into the bounded
+	// training stores, and model refits.
+	MSurrogateHits      = "surrogate.hits"
+	MSurrogateFallbacks = "surrogate.fallbacks"
+	MSurrogateSamples   = "surrogate.train_samples"
+	MSurrogateRefits    = "surrogate.refits"
+
+	// Shadow sampling: every Nth confident hit also runs the emulator
+	// and records the surrogate-vs-emulator error — the absolute speedup
+	// error ×1000 and the relative error in basis points — so the
+	// accuracy claim stays continuously measured in production.
+	MSurrogateShadowRuns   = "surrogate.shadow.runs"
+	MSurrogateShadowAbsErr = "surrogate.shadow.abs_err_milli"
+	MSurrogateShadowRelErr = "surrogate.shadow.rel_err_bp"
+
+	// Predict wall time (nanosecond histogram) for answered requests —
+	// the microsecond claim, measured on the serving path.
+	MSurrogateEvalLatency = "surrogate.eval.latency_ns"
 )
 
 // allNames lists every metric name declared above, in declaration order.
@@ -132,6 +153,9 @@ var allNames = []string{
 	MClusterBreakerOpened, MClusterBreakerHalfOpen, MClusterBreakerClosed,
 	MClusterProbes, MClusterProbeFailures,
 	MClusterForwardLatency,
+	MSurrogateHits, MSurrogateFallbacks, MSurrogateSamples, MSurrogateRefits,
+	MSurrogateShadowRuns, MSurrogateShadowAbsErr, MSurrogateShadowRelErr,
+	MSurrogateEvalLatency,
 }
 
 // AllNames returns a copy of the canonical metric-name vocabulary.

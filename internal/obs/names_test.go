@@ -69,4 +69,34 @@ func TestNamesDeclared(t *testing.T) {
 	if Declared("cluster.bogus") {
 		t.Error(`Declared("cluster.bogus") = true`)
 	}
+	// The surrogate vocabulary added in PR 9, spelled out so a renamed
+	// const cannot silently drop a series the CI smoke job scrapes.
+	for _, n := range []string{
+		MSurrogateHits, MSurrogateFallbacks, MSurrogateSamples,
+		MSurrogateRefits, MSurrogateShadowRuns, MSurrogateShadowAbsErr,
+		MSurrogateShadowRelErr, MSurrogateEvalLatency,
+	} {
+		if !Declared(n) {
+			t.Errorf("Declared(%q) = false", n)
+		}
+	}
+	if Declared("surrogate.bogus") {
+		t.Error(`Declared("surrogate.bogus") = true`)
+	}
+}
+
+// TestAllNamesNoDuplicates is the standalone regression for the
+// registration slice: appending a name twice (an easy merge mistake)
+// must fail even if the declared-set comparison above is ever relaxed.
+func TestAllNamesNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range AllNames() {
+		if seen[n] {
+			t.Errorf("AllNames lists %q more than once", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("AllNames is empty")
+	}
 }

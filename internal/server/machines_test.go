@@ -44,13 +44,27 @@ func TestMachinesEndpoint(t *testing.T) {
 		t.Errorf("embedded4+4 cores = %d, want 8", names["embedded4+4"])
 	}
 
+	// POST is the register verb now; an empty body is a client error,
+	// not a method error.
 	post, err := http.Post(ts.URL+"/v1/machines", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	post.Body.Close()
-	if post.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /v1/machines: %d, want 405", post.StatusCode)
+	if post.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST /v1/machines with no body: %d, want 400", post.StatusCode)
+	}
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/machines", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /v1/machines: %d, want 405", delResp.StatusCode)
 	}
 }
 

@@ -11,13 +11,20 @@
 //  2. A sharded LRU over completed estimates, keyed on
 //     (workload, compressed-tree hash, request), answers repeats
 //     without touching the pool.
-//  3. A singleflight group deduplicates identical concurrent cells.
-//  4. A batcher coalesces the remaining cells — across requests — into
+//  3. An optional learned surrogate (Config.Surrogate) answers cells
+//     whose feature neighborhood it predicts within a cross-validated
+//     error bound — in microseconds, before the batcher's coalescing
+//     window. Misses fall through and the emulated result trains it.
+//  4. In cluster mode, the consistent-hash fleet routes the cell to
+//     its owning replica.
+//  5. A singleflight group deduplicates identical concurrent cells.
+//  6. A batcher coalesces the remaining cells — across requests — into
 //     sweep.RunCtx batches on one bounded worker pool.
 //
 // Endpoints: POST /v1/predict, POST /v1/sweep, GET /v1/workloads,
 // POST /v1/workloads (upload an execution profile as a new workload),
-// GET /v1/machines, GET /healthz, GET /readyz, GET /metrics.
+// GET /v1/machines, POST /v1/machines (register a custom machine
+// spec), GET /healthz, GET /readyz, GET /metrics.
 package server
 
 import (
@@ -89,6 +96,14 @@ type Config struct {
 	// Local estimator and (if unset) the Metrics registry.
 	Cluster *cluster.Config
 
+	// Surrogate, when non-nil, arms the learned surrogate predictor in
+	// front of the emulation stack: uncached cells whose cross-validated
+	// confidence clears the configured bound are answered from the model
+	// (marked "source":"surrogate" on the wire) and every emulated
+	// result feeds the training store. The config's Metrics defaults to
+	// the server registry. nil serves every cell exactly as before.
+	Surrogate *prophet.SurrogateConfig
+
 	// Metrics receives server and pipeline metrics (nil = a fresh
 	// registry, exposed at /metrics either way).
 	Metrics *obs.Registry
@@ -140,6 +155,14 @@ type workloadEntry struct {
 	paradigm     prophet.Paradigm
 	sched        prophet.Sched
 	threadCounts []int
+
+	// serialMu guards serials: per-machine serial-cycle baselines the
+	// surrogate fast path needs to report time_cycles. The profile's own
+	// machine is known up front; variant machines are learned from the
+	// first emulated result (serial = time × speedup, the emulator's own
+	// arithmetic inverted).
+	serialMu sync.Mutex
+	serials  map[string]float64
 }
 
 // Server is the prediction service. Create with New, load profiles with
@@ -165,7 +188,8 @@ type Server struct {
 	cache    *estimateCache
 	flights  *flightGroup
 	batch    *batcher
-	cluster  *cluster.Client // nil outside cluster mode
+	cluster  *cluster.Client    // nil outside cluster mode
+	surr     *prophet.Surrogate // nil unless Config.Surrogate set
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -206,6 +230,13 @@ func New(cfg Config) *Server {
 		sweepLat:   reg.Histogram(obs.MServerSweepLatency),
 	}
 	s.batch = newBatcher(baseCtx, sweep.Engine{Workers: cfg.Workers, Metrics: reg}, cfg.BatchWindow, cfg.MaxBatch, reg)
+	if cfg.Surrogate != nil {
+		scfg := *cfg.Surrogate
+		if scfg.Metrics == nil {
+			scfg.Metrics = reg
+		}
+		s.surr = prophet.NewSurrogate(scfg)
+	}
 	if cfg.Cluster != nil {
 		ccfg := *cfg.Cluster
 		ccfg.Local = s.localEstimate
@@ -364,11 +395,13 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 	return context.WithCancel(ctx)
 }
 
-// estimate computes one cell: LRU, then — in cluster mode, for cells
-// that did not already arrive routed — the consistent-hash fleet, and
-// otherwise the local singleflight → batcher stack. cached reports
-// whether the LRU answered. forwarded marks a cell another replica
-// already routed here; it must be served locally (one-hop contract).
+// estimate computes one cell: LRU, then the surrogate fast path, then —
+// in cluster mode, for cells that did not already arrive routed — the
+// consistent-hash fleet, and otherwise the local singleflight → batcher
+// stack. cached reports whether the LRU answered. forwarded marks a
+// cell another replica already routed here; it must be served locally
+// (one-hop contract) — the surrogate may still answer it, since this
+// replica's store is the warm one for cells it owns.
 func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet.Request, forwarded bool) (est prophet.Estimate, cached bool, err error) {
 	// Normalize Threads the way the library does, so "threads":0 and an
 	// explicit machine core count share a cache line.
@@ -383,14 +416,102 @@ func (s *Server) estimate(ctx context.Context, entry *workloadEntry, req prophet
 		est.Machine = req.Machine
 		return est, true, nil
 	}
+	// Surrogate fast path: answer from the model before the cluster hop
+	// and the batcher's coalescing window. Needs both a confident
+	// neighborhood and a serial-cycle baseline for the target machine
+	// (to report time_cycles); shadow-sampled hits fall through to
+	// emulation so the accuracy claim stays measured.
+	var sgVec []float64
+	var sgShadow bool
+	var sgPred float64
+	if s.surr != nil {
+		sgVec = entry.prof.SurrogateFeatures(req)
+		if serial, known := s.serialFor(entry, machineOf(entry, req)); known {
+			if val, ok, shadow := s.surr.Predict(surrKey(entry), sgVec); ok {
+				if !shadow {
+					return surrogateWireEstimate(req, val, serial), false, nil
+				}
+				sgShadow, sgPred = true, val
+			}
+		}
+	}
 	if s.cluster != nil && !forwarded {
 		est, err := s.cluster.Estimate(ctx, key, entry.name, req)
-		if err == nil && est.Err == nil {
+		if err == nil && est.Err == nil && est.Source == "" {
 			s.cache.Put(key, est)
 		}
+		s.surrFeedback(entry, req, sgVec, sgShadow, sgPred, est, err)
 		return est, false, err
 	}
-	return s.localCell(ctx, entry, key, req)
+	est, cached, err = s.localCell(ctx, entry, key, req)
+	s.surrFeedback(entry, req, sgVec, sgShadow, sgPred, est, err)
+	return est, cached, err
+}
+
+// surrKey is the surrogate partition of one workload: name plus tree
+// hash, so a re-registered workload with a different tree trains a
+// fresh partition instead of inheriting stale targets. Machine variants
+// share the partition — the feature vector's machine block separates
+// them.
+func surrKey(entry *workloadEntry) string {
+	return entry.name + "\x00" + entry.treeHash
+}
+
+// surrogateWireEstimate wraps a surrogate speedup in the wire format,
+// deriving time_cycles from the machine's serial baseline exactly as
+// the emulator does (serial / speedup, rounded).
+func surrogateWireEstimate(req prophet.Request, speedup, serial float64) prophet.Estimate {
+	est := prophet.Estimate{Request: req, Speedup: speedup, Source: prophet.SourceSurrogate}
+	if speedup > 0 {
+		est.Time = prophet.Cycles(serial/speedup + 0.5)
+	}
+	return est
+}
+
+// surrFeedback trains the surrogate with one emulated result and closes
+// the shadow-sampling loop. Results that were themselves served by a
+// surrogate (a cluster peer's) are never training data.
+func (s *Server) surrFeedback(entry *workloadEntry, req prophet.Request, vec []float64, shadow bool, pred float64, est prophet.Estimate, err error) {
+	if s.surr == nil || vec == nil || err != nil || est.Err != nil || est.Source != "" {
+		return
+	}
+	if shadow {
+		s.surr.RecordShadow(pred, est.Speedup)
+	}
+	s.noteSerial(entry, machineOf(entry, req), est)
+	s.surr.Observe(surrKey(entry), vec, est.Speedup)
+}
+
+// serialFor returns the serial-cycle baseline of machine for entry: the
+// profile's own count for its own machine, otherwise what noteSerial
+// learned from emulated results. No baseline yet means the surrogate
+// cannot fill in time_cycles, so the cell emulates (which learns it).
+func (s *Server) serialFor(entry *workloadEntry, machineName string) (float64, bool) {
+	if machineName == entry.prof.MachineName() {
+		return float64(entry.prof.SerialCycles), true
+	}
+	entry.serialMu.Lock()
+	defer entry.serialMu.Unlock()
+	serial, ok := entry.serials[machineName]
+	return serial, ok
+}
+
+// noteSerial records a variant machine's serial baseline from an
+// emulated estimate: time = serial/speedup rounded, so time × speedup
+// recovers serial to within half a speedup unit — negligible against
+// profile-scale cycle counts.
+func (s *Server) noteSerial(entry *workloadEntry, machineName string, est prophet.Estimate) {
+	if machineName == entry.prof.MachineName() || est.Speedup <= 0 || est.Time <= 0 {
+		return
+	}
+	entry.serialMu.Lock()
+	if entry.serials == nil {
+		entry.serials = make(map[string]float64)
+	}
+	if _, ok := entry.serials[machineName]; !ok {
+		entry.serials[machineName] = float64(est.Time) * est.Speedup
+	}
+	entry.serialMu.Unlock()
 }
 
 // localCell runs one cell through the singleflight → batcher stack on
@@ -407,7 +528,7 @@ func (s *Server) localCell(ctx context.Context, entry *workloadEntry, key string
 		go func() {
 			s.batch.submit(j)
 			r := <-j.res
-			if r.err == nil && r.est.Err == nil {
+			if r.err == nil && r.est.Err == nil && r.est.Source == "" {
 				s.cache.Put(key, r.est)
 			}
 			finish(r)
@@ -483,11 +604,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if hook := s.testHook.Load(); hook != nil {
 		(*hook)()
 	}
-	est, _, err := s.estimate(ctx, entry, pr.Request, isForwarded(r))
+	est, cached, err := s.estimate(ctx, entry, pr.Request, isForwarded(r))
 	if isCancellation(err) {
 		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("prediction canceled: %v", err))
 		return
 	}
+	// Name the tier that answered, so clients (loadgen's per-source
+	// latency streams) can split their measurements without parsing the
+	// body.
+	source := sourceEmulated
+	switch {
+	case cached:
+		source = sourceCache
+	case est.Source != "":
+		source = est.Source
+	}
+	w.Header().Set(SourceHeader, source)
 	// Failed predictions (deadlock, budget, malformed tree) are valid
 	// results in the wire format: the estimate carries its err field,
 	// exactly as the CLIs and sweep outcomes report it.
@@ -599,12 +731,18 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMachines lists the machine presets a request's machine field (or
-// a sweep's machines axis) can name. The registry is static, so the
-// listing is served without readiness or admission gating.
+// a sweep's machines axis) can name, and accepts POSTed custom specs.
+// The registry is cheap and process-global, so both verbs are served
+// without readiness or admission gating.
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	switch r.Method {
+	case http.MethodPost:
+		s.handleMachineRegister(w, r)
+		return
+	case http.MethodGet:
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET to list machine specs or POST to register one")
 		return
 	}
 	specs := prophet.MachinePresets()
@@ -618,6 +756,33 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMachineRegister registers a custom machine spec uploaded as
+// JSON (the MachineSpec wire format). The spec must validate — 400,
+// with the offending field named — and its name must be free — 409,
+// since specs are immutable after publication and a name can never be
+// rebound. On success the name is immediately usable in machine fields
+// and machines sweep axes.
+func (s *Server) handleMachineRegister(w http.ResponseWriter, r *http.Request) {
+	spec := new(prophet.MachineSpec)
+	if !s.decodeBody(w, r, spec) {
+		return
+	}
+	if err := prophet.RegisterMachineSpec(spec); err != nil {
+		if errors.Is(err, prophet.ErrDuplicateMachineSpec) {
+			s.badReqs.Inc()
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		s.clientError(w, err) // validation failure
+		return
+	}
+	writeJSON(w, http.StatusCreated, machineInfo{
+		Name:  spec.Name,
+		Desc:  spec.Desc,
+		Cores: spec.Cores(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"prophet"
+	"prophet/internal/obs"
+)
+
+// surrogateTestConfig arms a server with a surrogate tuned for tiny
+// test stores: it refits early and (by default) never shadow-samples,
+// so tests are deterministic.
+func surrogateTestConfig(shadowEvery int) *prophet.SurrogateConfig {
+	return &prophet.SurrogateConfig{
+		MinSamples:  8,
+		RefitEvery:  4,
+		ShadowEvery: shadowEvery,
+		MaxRelErr:   0.5,
+		Seed:        1,
+	}
+}
+
+// warmupSweep emulates a cores axis once so every cell feeds the
+// surrogate's training store.
+func warmupSweep(t *testing.T, url string, cores []int) {
+	t.Helper()
+	code, body := postJSON(t, url+"/v1/sweep", sweepRequest{
+		Workload: "NPB-EP",
+		Cores:    cores,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("warmup sweep: %d %s", code, body)
+	}
+}
+
+func predictOnce(t *testing.T, url string, threads int) (prophet.Estimate, string) {
+	t.Helper()
+	data, err := json.Marshal(predictRequest{
+		Workload: "NPB-EP",
+		Request:  prophet.Request{Method: prophet.FastForward, Threads: threads},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var est prophet.Estimate
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+	return est, resp.Header.Get(SourceHeader)
+}
+
+// TestServerSurrogateServesTrainedCells: with the LRU disabled, a cell
+// the warmup sweep emulated is re-served by the surrogate (an exact
+// feature match is a memoized emulation), marked via the source field
+// and the X-Prophet-Source header, with the emulated speedup and a
+// consistent time_cycles.
+func TestServerSurrogateServesTrainedCells(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		DisableMemoryModel: true,
+		CacheSize:          -1,
+		Surrogate:          surrogateTestConfig(-1),
+	})
+	cores := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	warmupSweep(t, ts.URL, cores)
+
+	emulated, src := predictOnceMachine(t, ts.URL, 8, "")
+	_ = src // cache disabled; this may be surrogate or emulated depending on confidence
+	est, source := predictOnce(t, ts.URL, 8)
+	if source != prophet.SourceSurrogate {
+		t.Fatalf("X-Prophet-Source = %q, want %q after warmup", source, prophet.SourceSurrogate)
+	}
+	if est.Source != prophet.SourceSurrogate {
+		t.Fatalf("body source = %q, want %q", est.Source, prophet.SourceSurrogate)
+	}
+	if est.Speedup != emulated.Speedup {
+		t.Fatalf("exact-match surrogate speedup %v differs from emulated %v", est.Speedup, emulated.Speedup)
+	}
+	if est.Time <= 0 {
+		t.Fatalf("surrogate estimate carries no time_cycles: %+v", est)
+	}
+}
+
+// TestServerSurrogateHitsAreNeverCached: surrogate answers must not
+// poison the LRU — re-asking an uncached cell keeps answering from the
+// surrogate, and an LRU hit never claims to be one.
+func TestServerSurrogateHitsAreNeverCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DisableMemoryModel: true,
+		CacheSize:          -1,
+		Surrogate:          surrogateTestConfig(-1),
+	})
+	warmupSweep(t, ts.URL, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	for i := 0; i < 3; i++ {
+		if _, source := predictOnce(t, ts.URL, 6); source != prophet.SourceSurrogate {
+			t.Fatalf("repeat %d: source %q, want surrogate every time (nothing cached)", i, source)
+		}
+	}
+	if hits := counterValue(t, s, obs.MSurrogateHits); hits < 3 {
+		t.Fatalf("surrogate.hits = %d, want >= 3", hits)
+	}
+}
+
+// TestServerSurrogateShadowSampling: with ShadowEvery=1 every confident
+// hit is shadowed — the emulator still runs, the exact result is served
+// (no source mark), and the shadow comparison lands in the metrics.
+func TestServerSurrogateShadowSampling(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DisableMemoryModel: true,
+		CacheSize:          -1,
+		Surrogate:          surrogateTestConfig(1),
+	})
+	warmupSweep(t, ts.URL, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	est, source := predictOnce(t, ts.URL, 8)
+	if source != sourceEmulated || est.Source != "" {
+		t.Fatalf("shadowed hit must serve the emulated result unmarked, got header %q source %q", source, est.Source)
+	}
+	if runs := counterValue(t, s, obs.MSurrogateShadowRuns); runs < 1 {
+		t.Fatalf("surrogate.shadow.runs = %d, want >= 1", runs)
+	}
+	snap := s.metrics.Snapshot()
+	if snap.Histograms[obs.MSurrogateShadowRelErr].Count < 1 {
+		t.Fatal("shadow rel-err histogram empty after a shadowed hit")
+	}
+}
+
+// TestServerSurrogateDisabledBytesIdentical: without Config.Surrogate
+// the wire bytes are exactly what an armed server emits for cells the
+// surrogate did not answer — the source field only exists on surrogate
+// hits, so disabling the feature (or missing the model) changes nothing.
+func TestServerSurrogateDisabledBytesIdentical(t *testing.T) {
+	_, plain := newTestServer(t, Config{DisableMemoryModel: true})
+	_, armed := newTestServer(t, Config{DisableMemoryModel: true, Surrogate: surrogateTestConfig(-1)})
+	req := predictRequest{
+		Workload: "NPB-EP",
+		Request:  prophet.Request{Method: prophet.FastForward, Threads: 4},
+	}
+	codeA, bodyA := postJSON(t, plain.URL+"/v1/predict", req)
+	codeB, bodyB := postJSON(t, armed.URL+"/v1/predict", req)
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("status %d / %d", codeA, codeB)
+	}
+	if string(bodyA) != string(bodyB) {
+		t.Fatalf("emulated responses diverge with the surrogate armed:\n%s\nvs\n%s", bodyA, bodyB)
+	}
+}
+
+// TestServerSurrogateVariantMachineNeedsBaseline: a variant machine has
+// no serial baseline until its first emulation, so the very first cell
+// on it is emulated even when the neighborhood looks confident; once a
+// result teaches the baseline, the surrogate may serve that machine
+// with a positive time_cycles.
+func TestServerSurrogateVariantMachineNeedsBaseline(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		DisableMemoryModel: true,
+		CacheSize:          -1,
+		Surrogate:          surrogateTestConfig(-1),
+	})
+	cores := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	code, body := postJSON(t, ts.URL+"/v1/sweep", sweepRequest{
+		Workload: "NPB-EP", Cores: cores, Machines: []string{"hbm12"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("variant sweep: %d %s", code, body)
+	}
+	est, source := predictOnceMachine(t, ts.URL, 8, "hbm12")
+	if source != prophet.SourceSurrogate {
+		t.Fatalf("variant source %q, want surrogate after its cells emulated once", source)
+	}
+	if est.Time <= 0 {
+		t.Fatalf("variant surrogate hit has no time_cycles: %+v", est)
+	}
+}
+
+func predictOnceMachine(t *testing.T, url string, threads int, machine string) (prophet.Estimate, string) {
+	t.Helper()
+	data, err := json.Marshal(predictRequest{
+		Workload: "NPB-EP",
+		Request:  prophet.Request{Method: prophet.FastForward, Threads: threads, Machine: machine},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+	var est prophet.Estimate
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	return est, resp.Header.Get(SourceHeader)
+}

@@ -69,6 +69,16 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// SourceHeader names the tier that answered a /v1/predict: "cache",
+// "surrogate" or "emulated". Clients that bucket latency per tier
+// (prophetd loadgen) read it instead of parsing the body.
+const SourceHeader = "X-Prophet-Source"
+
+const (
+	sourceCache    = "cache"
+	sourceEmulated = "emulated"
+)
+
 // workloadInfo is one entry of GET /v1/workloads.
 type workloadInfo struct {
 	Name     string `json:"name"`

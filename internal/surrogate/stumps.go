@@ -1,0 +1,150 @@
+package surrogate
+
+import "sort"
+
+// stumpsModel is the second prediction head: gradient-boosted regression
+// stumps fit on the normalized feature matrix. Each round greedily picks
+// the single (feature, threshold) split that best explains the current
+// residuals and commits a learning-rate-damped two-leaf correction. The
+// model is tiny (rounds × one split), evaluates in O(rounds), and — like
+// everything in this package — needs no dependency beyond the standard
+// library.
+type stumpsModel struct {
+	bias   float64
+	stumps []stump
+}
+
+type stump struct {
+	feat        int
+	thresh      float64
+	left, right float64
+}
+
+const (
+	stumpRounds = 64
+	stumpRate   = 0.3
+)
+
+// sortOrders pre-sorts each feature's sample order once over the full
+// row-major matrix; boosting rounds (and every CV fold, via the include
+// mask) reuse it instead of re-sorting.
+func sortOrders(flat []float64, dim, n int) [][]int {
+	order := make([][]int, dim)
+	for f := 0; f < dim; f++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		f := f
+		sort.Slice(idx, func(a, b int) bool {
+			return flat[idx[a]*dim+f] < flat[idx[b]*dim+f]
+		})
+		order[f] = idx
+	}
+	return order
+}
+
+// fitStumps trains on the samples selected by include (nil = all) out of
+// n rows of dim features stored row-major in flat. order must come from
+// sortOrders over the same matrix. It returns nil when there is nothing
+// to split.
+func fitStumps(flat []float64, dim, n int, targets []float64, include []bool, order [][]int) *stumpsModel {
+	m := &stumpsModel{}
+	count := 0
+	for i := 0; i < n; i++ {
+		if include != nil && !include[i] {
+			continue
+		}
+		m.bias += targets[i]
+		count++
+	}
+	if count < 2 || dim == 0 {
+		return nil
+	}
+	m.bias /= float64(count)
+
+	res := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if include == nil || include[i] {
+			res[i] = targets[i] - m.bias
+		}
+	}
+	for round := 0; round < stumpRounds; round++ {
+		best, ok := bestSplit(flat, dim, count, res, include, order)
+		if !ok {
+			break
+		}
+		best.left *= stumpRate
+		best.right *= stumpRate
+		m.stumps = append(m.stumps, best)
+		for i := 0; i < n; i++ {
+			if include != nil && !include[i] {
+				continue
+			}
+			if flat[i*dim+best.feat] <= best.thresh {
+				res[i] -= best.left
+			} else {
+				res[i] -= best.right
+			}
+		}
+	}
+	if len(m.stumps) == 0 {
+		return nil
+	}
+	return m
+}
+
+// bestSplit scans every feature's sorted order with prefix sums and
+// returns the split maximizing the variance-reduction gain
+// sumL²/nL + sumR²/nR. Leaf values are the residual means of each side.
+func bestSplit(flat []float64, dim, count int, res []float64, include []bool, order [][]int) (stump, bool) {
+	var total float64
+	for i, r := range res {
+		if include == nil || include[i] {
+			total += r
+		}
+	}
+	var best stump
+	bestGain := total * total / float64(count) // gain of "no split"
+	found := false
+	for f := 0; f < dim; f++ {
+		var sumL float64
+		seen := 0
+		prev := 0.0
+		havePrev := false
+		for _, i := range order[f] {
+			if include != nil && !include[i] {
+				continue
+			}
+			v := flat[i*dim+f]
+			if havePrev && v > prev && seen < count {
+				nL := float64(seen)
+				nR := float64(count - seen)
+				sumR := total - sumL
+				gain := sumL*sumL/nL + sumR*sumR/nR
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					best = stump{feat: f, thresh: (prev + v) / 2, left: sumL / nL, right: sumR / nR}
+					found = true
+				}
+			}
+			sumL += res[i]
+			seen++
+			prev, havePrev = v, true
+		}
+	}
+	return best, found
+}
+
+// predict evaluates the model on one normalized feature vector.
+func (m *stumpsModel) predict(vec []float64) float64 {
+	out := m.bias
+	for _, s := range m.stumps {
+		if vec[s.feat] <= s.thresh {
+			out += s.left
+		} else {
+			out += s.right
+		}
+	}
+	return out
+}

@@ -1,0 +1,479 @@
+package surrogate
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+// Config tunes a Predictor. The zero value selects sane defaults; zero
+// Seed is a valid (deterministic) seed.
+type Config struct {
+	// Capacity bounds the per-partition training store; once full, new
+	// samples displace old ones by seeded reservoir sampling (0 = 1024).
+	Capacity int
+	// K is the neighbor count of the k-NN head (0 = 8).
+	K int
+	// MaxRelErr is the confidence gate: a prediction is served only when
+	// the cross-validated relative-error estimate of the queried feature
+	// neighborhood is at or under this bound (0 = 0.05, the CI gate).
+	MaxRelErr float64
+	// MinSamples is the training-store size below which the surrogate
+	// never answers (0 = 32).
+	MinSamples int
+	// RefitEvery is how many new observations accumulate between model
+	// refits (0 = 64).
+	RefitEvery int
+	// ShadowEvery shadow-samples every Nth confident hit: the emulator
+	// runs anyway, its exact result is served, and the surrogate-vs-
+	// emulator error is recorded (0 = 8; negative disables shadowing).
+	ShadowEvery int
+	// Seed makes reservoir displacement deterministic across runs.
+	Seed int64
+	// Metrics receives the surrogate.* series (nil disables at no cost).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.MaxRelErr <= 0 {
+		c.MaxRelErr = 0.05
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.RefitEvery <= 0 {
+		c.RefitEvery = 64
+	}
+	if c.ShadowEvery == 0 {
+		c.ShadowEvery = 8
+	}
+	return c
+}
+
+// Predictor is the learned surrogate: per-partition bounded training
+// stores (one partition per workload key), a k-NN head and a boosted-
+// stumps head selected per partition by cross-validated error, and a
+// confidence gate over the neighborhood's CV error. Predict is the hot
+// path — it only reads an immutable fitted model snapshot, so concurrent
+// predictions never contend with training.
+type Predictor struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	parts map[string]*partition
+
+	hits, fallbacks, observed, refits, shadowRuns *obs.Counter
+	absErr, relErr, evalLat                       *obs.Histogram
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	return &Predictor{
+		cfg:        cfg,
+		parts:      make(map[string]*partition),
+		hits:       reg.Counter(obs.MSurrogateHits),
+		fallbacks:  reg.Counter(obs.MSurrogateFallbacks),
+		observed:   reg.Counter(obs.MSurrogateSamples),
+		refits:     reg.Counter(obs.MSurrogateRefits),
+		shadowRuns: reg.Counter(obs.MSurrogateShadowRuns),
+		absErr:     reg.Histogram(obs.MSurrogateShadowAbsErr),
+		relErr:     reg.Histogram(obs.MSurrogateShadowRelErr),
+		evalLat:    reg.Histogram(obs.MSurrogateEvalLatency),
+	}
+}
+
+// sample is one training example: a feature vector and the emulator's
+// answer for it.
+type sample struct {
+	vec    []float64
+	target float64
+}
+
+// partition is one workload's training store and fitted model.
+type partition struct {
+	mu       sync.Mutex // guards samples/seen/sinceFit/rng (training side)
+	rng      *rand.Rand
+	seen     int64
+	samples  []sample
+	sinceFit int
+
+	served atomic.Int64           // confident answers, for shadow cadence
+	model  atomic.Pointer[fitted] // immutable snapshot read by Predict
+}
+
+// fitted is an immutable model snapshot: the normalizer, the normalized
+// sample matrix, per-sample cross-validated error estimates, and the
+// selected head.
+type fitted struct {
+	dim          int
+	mean, invStd []float64
+	flat         []float64 // n×dim, row-major, normalized
+	targets      []float64
+	cvRel        []float64 // per-sample CV relative error of the head
+	useStumps    bool
+	stumps       *stumpsModel
+	k            int
+}
+
+func (p *Predictor) partition(key string, create bool) *partition {
+	p.mu.RLock()
+	part := p.parts[key]
+	p.mu.RUnlock()
+	if part != nil || !create {
+		return part
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if part = p.parts[key]; part == nil {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		part = &partition{rng: rand.New(rand.NewSource(p.cfg.Seed ^ int64(h.Sum64())))}
+		p.parts[key] = part
+	}
+	return part
+}
+
+// Predict answers one request from the surrogate. ok reports whether the
+// prediction cleared the confidence gate; when it did, shadow marks a
+// shadow-sampled hit — the caller must run the emulator anyway, serve
+// the exact result, and report the pair through RecordShadow.
+func (p *Predictor) Predict(key string, vec []float64) (val float64, ok, shadow bool) {
+	start := time.Now()
+	part := p.partition(key, false)
+	if part == nil {
+		p.fallbacks.Inc()
+		return 0, false, false
+	}
+	m := part.model.Load()
+	if m == nil || len(vec) != m.dim {
+		p.fallbacks.Inc()
+		return 0, false, false
+	}
+	q := make([]float64, m.dim)
+	for i, x := range vec {
+		q[i] = (x - m.mean[i]) * m.invStd[i]
+	}
+	idx, dist := m.nearest(q, m.k)
+	if len(idx) == 0 {
+		p.fallbacks.Inc()
+		return 0, false, false
+	}
+	// Neighborhood confidence: the distance-weighted mean of the
+	// neighbors' cross-validated errors. An exact feature match is
+	// memoization of a deterministic emulator — always confident.
+	exact := dist[0] < 1e-18
+	if !exact {
+		var conf, wsum float64
+		for j, i := range idx {
+			w := 1 / (dist[j] + 1e-9)
+			conf += w * m.cvRel[i]
+			wsum += w
+		}
+		if conf/wsum > p.cfg.MaxRelErr {
+			p.fallbacks.Inc()
+			return 0, false, false
+		}
+	}
+	if exact {
+		val = m.targets[idx[0]]
+	} else {
+		var num, den float64
+		for j, i := range idx {
+			w := 1 / (dist[j] + 1e-9)
+			num += w * m.targets[i]
+			den += w
+		}
+		val = num / den
+		if m.stumps != nil {
+			// Ensemble agreement gate: the neighborhood CV check above is
+			// an average over training points, which is blind to a query
+			// that lands between them (a piecewise-constant stumps head can
+			// ace grid CV and still step badly at midpoints). Both heads
+			// evaluated at the actual query disagreeing beyond the bound is
+			// direct evidence this point is not safe to serve.
+			alt := m.stumps.predict(q)
+			if math.Abs(val-alt) > p.cfg.MaxRelErr*relFloor(val) {
+				p.fallbacks.Inc()
+				return 0, false, false
+			}
+			// Agreeing heads are averaged: the k-NN interpolant and the
+			// stumps fit err in different directions off the grid, so the
+			// ensemble mean beats serving either head alone.
+			val = (val + alt) / 2
+		}
+	}
+	p.evalLat.ObserveDuration(time.Since(start))
+	n := part.served.Add(1)
+	if p.cfg.ShadowEvery > 0 && n%int64(p.cfg.ShadowEvery) == 0 {
+		return val, true, true
+	}
+	p.hits.Inc()
+	return val, true, false
+}
+
+// Observe feeds one real emulation result back into the training store
+// and refits the partition's model on the configured cadence. The vector
+// is copied; callers may reuse their buffer.
+func (p *Predictor) Observe(key string, vec []float64, target float64) {
+	if len(vec) == 0 || math.IsNaN(target) || math.IsInf(target, 0) {
+		return
+	}
+	part := p.partition(key, true)
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	part.seen++
+	s := sample{vec: append([]float64(nil), vec...), target: target}
+	if len(part.samples) < p.cfg.Capacity {
+		part.samples = append(part.samples, s)
+	} else if j := part.rng.Int63n(part.seen); j < int64(p.cfg.Capacity) {
+		part.samples[j] = s
+	} else {
+		return // reservoir declined the sample; nothing new to fit
+	}
+	p.observed.Inc()
+	part.sinceFit++
+	if n := len(part.samples); n >= p.cfg.MinSamples &&
+		(part.model.Load() == nil || part.sinceFit >= p.cfg.RefitEvery) {
+		part.model.Store(p.refit(part.samples))
+		part.sinceFit = 0
+		p.refits.Inc()
+	}
+}
+
+// RecordShadow reports one shadow-sampled pair: the surrogate's
+// prediction and the emulator's exact answer for the same request.
+func (p *Predictor) RecordShadow(predicted, actual float64) {
+	p.shadowRuns.Inc()
+	diff := math.Abs(predicted - actual)
+	p.absErr.Observe(int64(diff*1000 + 0.5))
+	p.relErr.Observe(int64(diff/relFloor(actual)*10000 + 0.5))
+}
+
+// Samples returns the total training-store size across partitions (for
+// tests and diagnostics).
+func (p *Predictor) Samples() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, part := range p.parts {
+		part.mu.Lock()
+		n += len(part.samples)
+		part.mu.Unlock()
+	}
+	return n
+}
+
+// maxCVPoints caps the leave-one-out evaluation subset: CV cost is
+// O(|subset|·n·dim) per refit, so the subset is a deterministic stride
+// over the store rather than the whole store.
+const maxCVPoints = 256
+
+// refit builds a fresh immutable model snapshot from the partition's
+// samples: z-score normalizer, normalized matrix, leave-one-out k-NN CV,
+// fold-out boosted-stumps CV, head selection by mean CV error, and the
+// selected head's per-sample error estimates for the confidence gate.
+func (p *Predictor) refit(samples []sample) *fitted {
+	n := len(samples)
+	dim := len(samples[0].vec)
+	m := &fitted{dim: dim, k: p.cfg.K, mean: make([]float64, dim), invStd: make([]float64, dim)}
+	for _, s := range samples {
+		for i, x := range s.vec {
+			m.mean[i] += x
+		}
+	}
+	for i := range m.mean {
+		m.mean[i] /= float64(n)
+	}
+	for _, s := range samples {
+		for i, x := range s.vec {
+			d := x - m.mean[i]
+			m.invStd[i] += d * d
+		}
+	}
+	for i, ss := range m.invStd {
+		if sd := math.Sqrt(ss / float64(n)); sd > 1e-12 {
+			m.invStd[i] = 1 / sd
+		} else {
+			m.invStd[i] = 0 // constant feature contributes nothing
+		}
+	}
+	m.flat = make([]float64, n*dim)
+	m.targets = make([]float64, n)
+	for r, s := range samples {
+		for i, x := range s.vec {
+			m.flat[r*dim+i] = (x - m.mean[i]) * m.invStd[i]
+		}
+		m.targets[r] = s.target
+	}
+
+	// Leave-one-out k-NN error on a deterministic stride subset,
+	// propagated to unevaluated samples from their nearest evaluated one.
+	stride := (n + maxCVPoints - 1) / maxCVPoints
+	evalIdx := make([]int, 0, maxCVPoints)
+	for i := 0; i < n; i += stride {
+		evalIdx = append(evalIdx, i)
+	}
+	knnErr := make([]float64, n)
+	var knnMean float64
+	for _, i := range evalIdx {
+		pred := m.looKNN(i)
+		knnErr[i] = math.Abs(pred-m.targets[i]) / relFloor(m.targets[i])
+		knnMean += knnErr[i]
+	}
+	knnMean /= float64(len(evalIdx))
+	if stride > 1 {
+		for i := 0; i < n; i++ {
+			if i%stride == 0 {
+				continue
+			}
+			knnErr[i] = knnErr[m.nearestOf(i, evalIdx)]
+		}
+	}
+
+	// Fold-out boosted-stumps error: each sample is held out exactly
+	// once, so every sample gets a genuine out-of-fold error estimate.
+	order := sortOrders(m.flat, dim, n)
+	const folds = 4
+	stumpsErr := make([]float64, n)
+	var stumpsMean float64
+	stumpsOK := n >= 2*folds
+	if stumpsOK {
+		include := make([]bool, n)
+		for f := 0; f < folds && stumpsOK; f++ {
+			for i := range include {
+				include[i] = i%folds != f
+			}
+			sm := fitStumps(m.flat, dim, n, m.targets, include, order)
+			if sm == nil {
+				stumpsOK = false
+				break
+			}
+			for i := f; i < n; i += folds {
+				stumpsErr[i] = math.Abs(sm.predict(m.flat[i*dim:(i+1)*dim])-m.targets[i]) / relFloor(m.targets[i])
+				stumpsMean += stumpsErr[i]
+			}
+		}
+		stumpsMean /= float64(n)
+	}
+	// The full-fit stumps model is kept even when k-NN wins selection:
+	// Predict cross-checks the two heads at every non-exact query (the
+	// ensemble agreement gate), so both must be available.
+	if stumpsOK {
+		if sm := fitStumps(m.flat, dim, n, m.targets, nil, order); sm != nil {
+			m.stumps = sm
+			if stumpsMean < knnMean {
+				m.useStumps, m.cvRel = true, stumpsErr
+				return m
+			}
+		}
+	}
+	m.cvRel = knnErr
+	return m
+}
+
+// looKNN predicts sample i from its K nearest other samples.
+func (m *fitted) looKNN(i int) float64 {
+	q := m.flat[i*m.dim : (i+1)*m.dim]
+	idx, dist := m.nearestExcluding(q, m.k, i)
+	var num, den float64
+	for j, nb := range idx {
+		w := 1 / (dist[j] + 1e-9)
+		num += w * m.targets[nb]
+		den += w
+	}
+	if den == 0 {
+		return m.targets[i]
+	}
+	return num / den
+}
+
+// nearest returns the indices and squared distances of the k nearest
+// training rows to the normalized query q, nearest first.
+func (m *fitted) nearest(q []float64, k int) ([]int, []float64) {
+	return m.nearestExcluding(q, k, -1)
+}
+
+func (m *fitted) nearestExcluding(q []float64, k, skip int) ([]int, []float64) {
+	n := len(m.targets)
+	if k > n {
+		k = n
+	}
+	idx := make([]int, 0, k)
+	dist := make([]float64, 0, k)
+	worst := math.Inf(1)
+	for r := 0; r < n; r++ {
+		if r == skip {
+			continue
+		}
+		row := m.flat[r*m.dim : (r+1)*m.dim]
+		var d float64
+		for i, x := range q {
+			diff := x - row[i]
+			d += diff * diff
+			if d >= worst && len(idx) == k {
+				break
+			}
+		}
+		if len(idx) == k && d >= worst {
+			continue
+		}
+		// Insertion sort into the fixed-size best list (k is small).
+		pos := len(idx)
+		for pos > 0 && dist[pos-1] > d {
+			pos--
+		}
+		if len(idx) < k {
+			idx = append(idx, 0)
+			dist = append(dist, 0)
+		}
+		copy(idx[pos+1:], idx[pos:])
+		copy(dist[pos+1:], dist[pos:])
+		idx[pos], dist[pos] = r, d
+		worst = dist[len(dist)-1]
+	}
+	return idx, dist
+}
+
+// nearestOf returns the member of candidates closest to row i.
+func (m *fitted) nearestOf(i int, candidates []int) int {
+	q := m.flat[i*m.dim : (i+1)*m.dim]
+	best, bestD := candidates[0], math.Inf(1)
+	for _, c := range candidates {
+		row := m.flat[c*m.dim : (c+1)*m.dim]
+		var d float64
+		for j, x := range q {
+			diff := x - row[j]
+			d += diff * diff
+			if d >= bestD {
+				break
+			}
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// relFloor is the denominator of relative errors: |target| floored so
+// near-zero speedups do not blow the estimate up.
+func relFloor(target float64) float64 {
+	a := math.Abs(target)
+	if a < 0.05 {
+		return 0.05
+	}
+	return a
+}

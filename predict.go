@@ -99,7 +99,17 @@ type Estimate struct {
 	// the second return of EstimateCtx — the field exists so batched
 	// results (Curve) carry their per-point failures.
 	Err error `json:"-"`
+	// Source marks how the estimate was produced: SourceSurrogate for
+	// answers served from the learned surrogate predictor, empty for
+	// emulated results. Empty omits the field from JSON, so every
+	// emulated payload is byte-identical to the pre-surrogate wire
+	// format.
+	Source string `json:"source,omitempty"`
 }
+
+// SourceSurrogate is the Estimate.Source value of a surrogate-served
+// prediction.
+const SourceSurrogate = "surrogate"
 
 // estimateJSON is the stable wire form of Estimate.
 type estimateJSON struct {
@@ -107,11 +117,12 @@ type estimateJSON struct {
 	Speedup float64      `json:"speedup"`
 	Time    clock.Cycles `json:"time_cycles"`
 	Err     string       `json:"err,omitempty"`
+	Source  string       `json:"source,omitempty"`
 }
 
 // MarshalJSON writes the estimate with Err flattened to its message.
 func (e Estimate) MarshalJSON() ([]byte, error) {
-	w := estimateJSON{Request: e.Request, Speedup: e.Speedup, Time: e.Time}
+	w := estimateJSON{Request: e.Request, Speedup: e.Speedup, Time: e.Time, Source: e.Source}
 	if e.Err != nil {
 		w.Err = e.Err.Error()
 	}
@@ -126,7 +137,7 @@ func (e *Estimate) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
-	e.Request, e.Speedup, e.Time, e.Err = w.Request, w.Speedup, w.Time, nil
+	e.Request, e.Speedup, e.Time, e.Source, e.Err = w.Request, w.Speedup, w.Time, w.Source, nil
 	if w.Err != "" {
 		e.Err = errors.New(w.Err)
 	}
@@ -181,6 +192,26 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 	if err := ctx.Err(); err != nil {
 		return Estimate{Request: req, Err: err}, err
 	}
+	// Surrogate-first: a confident learned prediction answers in
+	// microseconds without touching the emulators; a shadow-sampled hit
+	// falls through to the emulator and records the error pair; anything
+	// else emulates and feeds the exact result back as training data.
+	var (
+		sg       = p.opts.Surrogate
+		sgKey    string
+		sgVec    []float64
+		sgShadow bool
+		sgPred   float64
+	)
+	if sg != nil {
+		sgKey, sgVec = p.surrogateQuery(req)
+		if val, ok, shadow := sg.Predict(sgKey, sgVec); ok {
+			if !shadow {
+				return surrogateEstimate(req, val, p.SerialCycles), nil
+			}
+			sgShadow, sgPred = true, val
+		}
+	}
 	tm := p.opts.Observer.Metrics.StartTimer(obs.MStageEmulate)
 	defer tm.Stop()
 	useMem := req.MemoryModel && p.Model != nil
@@ -222,6 +253,12 @@ func (p *Profile) EstimateCtx(ctx context.Context, req Request) (est Estimate, e
 	}
 	if err != nil {
 		return Estimate{Request: req, Err: err}, err
+	}
+	if sg != nil {
+		if sgShadow {
+			sg.RecordShadow(sgPred, speedup)
+		}
+		sg.Observe(sgKey, sgVec, speedup)
 	}
 	var predTime clock.Cycles
 	if speedup > 0 {

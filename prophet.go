@@ -28,6 +28,7 @@ package prophet
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"prophet/internal/clock"
 	"prophet/internal/compress"
@@ -36,6 +37,7 @@ import (
 	"prophet/internal/memmodel"
 	"prophet/internal/obs"
 	"prophet/internal/sim"
+	"prophet/internal/surrogate"
 	"prophet/internal/sweep"
 	"prophet/internal/trace"
 	"prophet/internal/tree"
@@ -71,6 +73,13 @@ type Options struct {
 	// and a metrics registry aggregating stage wall times and DES
 	// counters. The zero value disables observability at no cost.
 	Observer Observer
+	// Surrogate, when non-nil, arms the learned surrogate predictor:
+	// EstimateCtx serves confident predictions from it in microseconds
+	// instead of emulating, and feeds every real emulation result back
+	// into its training store. Machine-variant profiles (Request.Machine)
+	// share the same predictor. Nil (the default) changes nothing — all
+	// estimates emulate exactly as before.
+	Surrogate *Surrogate
 }
 
 // DefaultThreadCounts is the paper's evaluation grid.
@@ -115,6 +124,15 @@ type Profile struct {
 	// sharing across the estimates of a -machines sweep; singleflight, so
 	// concurrent requests for one machine do the work once.
 	variants sweep.Cache[string, *Profile]
+
+	// surrOnce lazily computes the surrogate feature inputs: the
+	// request-independent tree stats and the partition key derived from
+	// the tree fingerprint. Computed once per profile, whether the
+	// surrogate is armed through Options.Surrogate or driven externally
+	// (internal/server).
+	surrOnce  sync.Once
+	surrStats *surrogate.TreeStats
+	surrKey   string
 }
 
 // MachineName returns the name of the profile's target machine: the spec
