@@ -6,7 +6,8 @@
 //
 //	prophet -bench NPB-FT [-method synthesizer] [-cores 2,4,6,8,10,12]
 //	        [-machines westmere12,embedded4+4] [-sched dynamic1] [-mem]
-//	        [-real] [-tree out.json] [-dot out.dot]
+//	        [-real] [-advise [-advise-json advice.json]]
+//	        [-tree out.json] [-dot out.dot]
 //	        [-trace trace.json] [-metrics metrics.json]
 //	prophet -load tree.json [-method ff] ...
 //	prophet -import prof.pb.gz [-sample-type cpu] [-collapse 0.001] ...
@@ -25,6 +26,15 @@
 // convert the sampled call tree into a program tree and predict over
 // it, so any profiled binary becomes a scenario. A profile that fails
 // to decode, or decodes to zero samples, is a usage error (exit 2).
+//
+// -advise runs the causal advisor: a paradigm × schedule × cores sweep
+// plus one what-if experiment per candidate region (top-level sections
+// and serial runs), ranking regions by the marginal speedup
+// parallelizing each would unlock at the largest core count — marginal
+// < 1.0x is an explicit anti-recommendation. The advisor defaults to
+// the synthesizer method unless -method is given explicitly.
+// -advise-json writes the same advice as JSON (byte-identical to the
+// daemon's POST /v1/advise for the same workload, cores and method).
 //
 // -trace records every simulated machine run and emulation as Chrome
 // trace_event JSON (one lane per simulated core; load the file in
@@ -101,7 +111,8 @@ func main() {
 		dotOut     = flag.String("dot", "", "write the program tree as Graphviz DOT to this file")
 		regions    = flag.Bool("regions", false, "print the per-region work/span/self-parallelism profile")
 		timeline   = flag.Bool("timeline", false, "render a per-core timeline of the machine ground truth at the largest core count")
-		advise     = flag.Bool("advise", false, "sweep paradigms/schedules/cores and print a recommendation")
+		advise     = flag.Bool("advise", false, "sweep paradigms/schedules/cores, rank candidate regions by marginal speedup, and print a recommendation")
+		adviseJSON = flag.String("advise-json", "", "with -advise, also write the advice as JSON to this file (\"-\" = stdout); implies -advise")
 		timeout    = flag.Duration("timeout", 0, "abort profiling and prediction after this duration, exiting 3 (0 = no limit)")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON of the simulated machine runs to this file")
 		metricsOut = flag.String("metrics", "", "write a pipeline metrics snapshot as JSON to this file (\"-\" = stdout)")
@@ -315,8 +326,39 @@ func main() {
 		}
 	}
 
-	if *advise {
-		fmt.Println(prof.Advise(&prophet.AdviseOptions{Threads: cores, Method: m}))
+	if *advise || *adviseJSON != "" {
+		// The advisor's documented default method is Synthesizer (the
+		// paper's "more realistic predictions" choice) — honour it unless
+		// the user explicitly passed -method; the flag's own default
+		// ("ff") only governs the prediction table above.
+		adviseMethod := prophet.Synthesizer
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "method" {
+				adviseMethod = m
+			}
+		})
+		adv, err := prof.AdviseCtx(ctx, &prophet.AdviseOptions{Threads: cores, Method: adviseMethod})
+		if err != nil {
+			fail("advise", err)
+		}
+		if *advise {
+			fmt.Println(adv)
+		}
+		if *adviseJSON != "" {
+			data, err := json.MarshalIndent(adv, "", "  ")
+			if err == nil && *adviseJSON == "-" {
+				_, err = fmt.Printf("%s\n", data)
+			} else if err == nil {
+				err = os.WriteFile(*adviseJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "advise export:", err)
+				os.Exit(1)
+			}
+			if *adviseJSON != "-" {
+				fmt.Println("advice written to", *adviseJSON)
+			}
+		}
 	}
 
 	if *timeline {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -191,4 +192,55 @@ func TestParseSched(t *testing.T) {
 			t.Errorf("ParseSched(%q) accepted", bad)
 		}
 	}
+}
+
+// TestAdviseDefaultMethod is the end-to-end regression for the advise
+// default: `prophet -advise` must use the synthesizer unless -method is
+// given explicitly — the old code inherited -method's flag default
+// ("ff"), silently diverging from the documented advisor default and
+// from POST /v1/advise. The test re-execs itself as the prophet main
+// and inspects the -advise-json output.
+func TestAdviseDefaultMethod(t *testing.T) {
+	if os.Getenv("PROPHET_TEST_ADVISE_MAIN") == "1" {
+		os.Args = append([]string{"prophet"}, strings.Fields(os.Getenv("PROPHET_TEST_ADVISE_ARGS"))...)
+		main()
+		return
+	}
+	run := func(t *testing.T, extra string) prophet.Advice {
+		t.Helper()
+		file := filepath.Join(t.TempDir(), "advice.json")
+		cmd := exec.Command(os.Args[0], "-test.run", "TestAdviseDefaultMethod")
+		cmd.Env = append(os.Environ(),
+			"PROPHET_TEST_ADVISE_MAIN=1",
+			"PROPHET_TEST_ADVISE_ARGS=-bench NPB-EP -cores 2 "+extra+" -advise-json "+file)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("prophet -advise failed: %v\n%s", err, out)
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var adv prophet.Advice
+		if err := json.Unmarshal(data, &adv); err != nil {
+			t.Fatalf("advice JSON: %v\n%s", err, data)
+		}
+		if len(adv.Sweep) == 0 {
+			t.Fatalf("advice has no sweep:\n%s", data)
+		}
+		return adv
+	}
+	t.Run("default is synthesizer", func(t *testing.T) {
+		for _, e := range run(t, "").Sweep {
+			if e.Request.Method != prophet.Synthesizer {
+				t.Fatalf("sweep cell method = %s, want %s (-method unset)", e.Request.Method, prophet.Synthesizer)
+			}
+		}
+	})
+	t.Run("explicit -method wins", func(t *testing.T) {
+		for _, e := range run(t, "-method ff").Sweep {
+			if e.Request.Method != prophet.FastForward {
+				t.Fatalf("sweep cell method = %s, want %s (-method ff)", e.Request.Method, prophet.FastForward)
+			}
+		}
+	})
 }

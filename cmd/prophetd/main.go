@@ -20,6 +20,9 @@
 //
 //	POST /v1/predict   one prophet.Request against a workload
 //	POST /v1/sweep     a cores × paradigm × sched grid (Fig. 11/12 shape)
+//	POST /v1/advise    the causal advisor: config sweep + per-region
+//	                   what-if experiments, ranked by marginal speedup
+//	                   (byte-identical to prophet -advise)
 //	GET  /v1/workloads registered workloads
 //	POST /v1/workloads?name=N upload a pprof or folded-stacks profile
 //	                   and register it as a servable workload

@@ -26,6 +26,15 @@ const (
 	MSweepCellsFailed  = "sweep.cells_failed"
 	MSweepCellsSkipped = "sweep.cells_skipped"
 
+	// Causal advisor (prophet.AdviseCtx): advisor runs, candidate
+	// regions enumerated across them, regions whose experiment predicted
+	// no gain (Marginal <= 1, the anti-recommendations), and end-to-end
+	// advisor wall time.
+	MAdviseRuns     = "advise.runs"
+	MAdviseRegions  = "advise.regions"
+	MAdviseAntiRecs = "advise.anti_recommendations"
+	MAdviseLatency  = "advise.latency_ns"
+
 	// Profile-cache traffic (sweep.Cache singleflight), aggregated over
 	// every cache instrumented with the registry.
 	MCacheHits   = "cache.hits"
@@ -37,6 +46,7 @@ const (
 	// Prediction-service (internal/server) request counters.
 	MServerPredicts = "server.predict.requests"
 	MServerSweeps   = "server.sweep.requests"
+	MServerAdvises  = "server.advise.requests"
 	// MServerRejected counts requests refused with 429 by the admission
 	// layer (overload backpressure).
 	MServerRejected = "server.rejected_overload"
@@ -51,6 +61,7 @@ const (
 	// admission to response).
 	MServerPredictLatency = "server.predict.latency_ns"
 	MServerSweepLatency   = "server.sweep.latency_ns"
+	MServerAdviseLatency  = "server.advise.latency_ns"
 
 	// Estimate-cache traffic (the server's sharded LRU over completed
 	// estimates, in front of the singleflight calibration cache).
@@ -141,9 +152,10 @@ var allNames = []string{
 	MStageProfile, MStageCompress, MStageCalibrate, MStageEmulate,
 	MSimRuns, MSimEvents, MSimPreemptions, MSimHeadroom,
 	MSweepCellsOK, MSweepCellsFailed, MSweepCellsSkipped,
+	MAdviseRuns, MAdviseRegions, MAdviseAntiRecs, MAdviseLatency,
 	MCacheHits, MCacheMisses, MCacheDedups,
-	MServerPredicts, MServerSweeps, MServerRejected, MServerBadRequests, MServerImports,
-	MServerPredictLatency, MServerSweepLatency,
+	MServerPredicts, MServerSweeps, MServerAdvises, MServerRejected, MServerBadRequests, MServerImports,
+	MServerPredictLatency, MServerSweepLatency, MServerAdviseLatency,
 	MServerCacheHits, MServerCacheMisses, MServerCacheEvictions, MServerFlightDedups,
 	MServerBatches, MServerBatchCells, MServerBatchSize,
 	MImportRuns, MImportSamples, MImportFrames, MImportFramesDropped,

@@ -83,6 +83,20 @@ func TestNamesDeclared(t *testing.T) {
 	if Declared("surrogate.bogus") {
 		t.Error(`Declared("surrogate.bogus") = true`)
 	}
+	// The advise vocabulary (causal advisor + /v1/advise), spelled out so
+	// a renamed const cannot silently drop a series the advise-smoke CI
+	// job scrapes.
+	for _, n := range []string{
+		MAdviseRuns, MAdviseRegions, MAdviseAntiRecs, MAdviseLatency,
+		MServerAdvises, MServerAdviseLatency,
+	} {
+		if !Declared(n) {
+			t.Errorf("Declared(%q) = false", n)
+		}
+	}
+	if Declared("advise.bogus") {
+		t.Error(`Declared("advise.bogus") = true`)
+	}
 }
 
 // TestAllNamesNoDuplicates is the standalone regression for the

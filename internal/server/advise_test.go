@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"prophet"
+	"prophet/internal/obs"
+	"prophet/internal/workloads"
+)
+
+// TestAdviseMatchesDirectAdvice pins the acceptance criterion that the
+// daemon and the CLI produce byte-identical advice: the /v1/advise body
+// must equal the library AdviseCtx result serialized with the same
+// encoder, because all composition lives in the library and the server
+// only supplies the estimator. Also checks that cores arrive
+// unnormalized and that a repeated advise is answered from cache with
+// the same bytes.
+func TestAdviseMatchesDirectAdvice(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	w, err := workloads.ByName("NPB-EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := prophet.ProfileProgramCtx(context.Background(), w.Program, &prophet.Options{
+		ThreadCounts: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, aerr := prof.AdviseCtx(context.Background(), &prophet.AdviseOptions{
+		Threads: []int{2, 4},
+		Method:  prophet.FastForward,
+	})
+	if aerr != nil {
+		t.Fatalf("direct AdviseCtx: %v", aerr)
+	}
+	want, err := json.MarshalIndent(adviseResponse{Workload: "NPB-EP", Advice: adv}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+
+	// Unnormalized cores on purpose: the handler must dedupe + sort, so
+	// {4, 2, 4} advises the same grid as the direct {2, 4} call.
+	body := adviseRequest{Workload: "NPB-EP", Cores: []int{4, 2, 4}, Method: "ff"}
+	status, raw1 := postJSON(t, ts.URL+"/v1/advise", body)
+	if status != http.StatusOK {
+		t.Fatalf("advise: status %d: %s", status, raw1)
+	}
+	if !bytes.Equal(raw1, want) {
+		t.Errorf("/v1/advise body differs from direct AdviseCtx:\n got: %s\nwant: %s", raw1, want)
+	}
+
+	status, raw2 := postJSON(t, ts.URL+"/v1/advise", body)
+	if status != http.StatusOK {
+		t.Fatalf("repeat advise: status %d", status)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Errorf("cached advise differs from computed advise:\n%s\n%s", raw1, raw2)
+	}
+
+	if n := counterValue(t, s, obs.MServerAdvises); n != 2 {
+		t.Errorf("%s = %d, want 2", obs.MServerAdvises, n)
+	}
+	if n := counterValue(t, s, obs.MAdviseRuns); n != 2 {
+		t.Errorf("%s = %d, want 2", obs.MAdviseRuns, n)
+	}
+	if n := counterValue(t, s, obs.MAdviseRegions); n < 1 {
+		t.Errorf("%s = %d, want >= 1", obs.MAdviseRegions, n)
+	}
+	// The repeat run's cells (baseline and advise-scoped variants alike)
+	// must have come from the LRU.
+	if hits := counterValue(t, s, obs.MServerCacheHits); hits < 1 {
+		t.Errorf("%s = %d, want >= 1", obs.MServerCacheHits, hits)
+	}
+}
+
+// TestAdviseDefaultsToSynthesizer pins the documented default: an empty
+// method field selects the synthesizer, matching prophet -advise when
+// -method is unset, and empty cores fall back to the loaded axis.
+func TestAdviseDefaultsToSynthesizer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, raw := postJSON(t, ts.URL+"/v1/advise", adviseRequest{Workload: "NPB-EP"})
+	if status != http.StatusOK {
+		t.Fatalf("advise: status %d: %s", status, raw)
+	}
+	var resp adviseResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("advise response: %v", err)
+	}
+	if len(resp.Advice.Sweep) == 0 {
+		t.Fatal("advice has no sweep")
+	}
+	for _, e := range resp.Advice.Sweep {
+		if e.Request.Method != prophet.Synthesizer {
+			t.Fatalf("sweep cell method = %s, want %s (the default)", e.Request.Method, prophet.Synthesizer)
+		}
+	}
+	if resp.Advice.TargetThreads != 4 {
+		t.Errorf("target threads = %d, want 4 (largest loaded core count)", resp.Advice.TargetThreads)
+	}
+}
+
+// TestAdviseBadRequests covers the rejection paths: wrong verb, unknown
+// workload, invalid method, and invalid cores.
+func TestAdviseBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/advise status = %d, want 405", resp.StatusCode)
+	}
+
+	cases := []struct {
+		name string
+		body adviseRequest
+		want int
+	}{
+		{"unknown workload", adviseRequest{Workload: "nope"}, http.StatusNotFound},
+		{"bad method", adviseRequest{Workload: "NPB-EP", Method: "quantum"}, http.StatusBadRequest},
+		{"bad cores", adviseRequest{Workload: "NPB-EP", Cores: []int{0}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, body := postJSON(t, ts.URL+"/v1/advise", c.body)
+		if status != c.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", c.name, status, c.want, body)
+		}
+		var eresp errorResponse
+		if err := json.Unmarshal(body, &eresp); err != nil || eresp.Error == "" {
+			t.Errorf("%s: body not an error response: %s", c.name, body)
+		}
+	}
+}
+
+// TestAdviseTimeoutReturns504 checks that a request-scoped deadline that
+// expires mid-advise maps to 504, like the other estimate endpoints.
+func TestAdviseTimeoutReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	hook := func() { time.Sleep(50 * time.Millisecond) }
+	s.testHook.Store(&hook)
+
+	status, body := postJSON(t, ts.URL+"/v1/advise", adviseRequest{
+		Workload:  "NPB-EP",
+		Method:    "ff",
+		TimeoutMS: 1,
+	})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", status, body)
+	}
+}

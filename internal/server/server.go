@@ -21,7 +21,8 @@
 //  6. A batcher coalesces the remaining cells — across requests — into
 //     sweep.RunCtx batches on one bounded worker pool.
 //
-// Endpoints: POST /v1/predict, POST /v1/sweep, GET /v1/workloads,
+// Endpoints: POST /v1/predict, POST /v1/sweep, POST /v1/advise (causal
+// region advisor), GET /v1/workloads,
 // POST /v1/workloads (upload an execution profile as a new workload),
 // GET /v1/machines, POST /v1/machines (register a custom machine
 // spec), GET /healthz, GET /readyz, GET /metrics.
@@ -36,6 +37,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -198,8 +200,8 @@ type Server struct {
 
 	httpSrv *http.Server
 
-	predicts, sweeps, rejected, badReqs, imports *obs.Counter
-	predictLat, sweepLat                         *obs.Histogram
+	predicts, sweeps, advises, rejected, badReqs, imports *obs.Counter
+	predictLat, sweepLat, adviseLat                       *obs.Histogram
 
 	// testHook, when set, runs after admission and before the estimate
 	// (tests use it to hold requests in flight deterministically).
@@ -223,11 +225,13 @@ func New(cfg Config) *Server {
 		baseCancel: baseCancel,
 		predicts:   reg.Counter(obs.MServerPredicts),
 		sweeps:     reg.Counter(obs.MServerSweeps),
+		advises:    reg.Counter(obs.MServerAdvises),
 		rejected:   reg.Counter(obs.MServerRejected),
 		badReqs:    reg.Counter(obs.MServerBadRequests),
 		imports:    reg.Counter(obs.MServerImports),
 		predictLat: reg.Histogram(obs.MServerPredictLatency),
 		sweepLat:   reg.Histogram(obs.MServerSweepLatency),
+		adviseLat:  reg.Histogram(obs.MServerAdviseLatency),
 	}
 	s.batch = newBatcher(baseCtx, sweep.Engine{Workers: cfg.Workers, Metrics: reg}, cfg.BatchWindow, cfg.MaxBatch, reg)
 	if cfg.Surrogate != nil {
@@ -253,6 +257,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
 	return s
 }
 
@@ -517,11 +522,20 @@ func (s *Server) noteSerial(entry *workloadEntry, machineName string, est prophe
 // localCell runs one cell through the singleflight → batcher stack on
 // this replica's own pool.
 func (s *Server) localCell(ctx context.Context, entry *workloadEntry, key string, req prophet.Request) (est prophet.Estimate, cached bool, err error) {
+	return s.cellOn(ctx, entry.prof, key, req)
+}
+
+// cellOn runs one cell against an explicit profile through the
+// singleflight → batcher stack. The registered workload profiles and the
+// advisor's synthesized region variants both funnel through here, so
+// every emulated cell — whatever tree it runs on — coalesces in the same
+// batches and deduplicates on its key.
+func (s *Server) cellOn(ctx context.Context, prof *prophet.Profile, key string, req prophet.Request) (est prophet.Estimate, cached bool, err error) {
 	res, err := s.flights.do(ctx, s.baseCtx, key, func(fctx context.Context, finish func(cellResult)) {
 		j := &cellJob{
 			ctx: fctx,
 			run: func(ctx context.Context) (prophet.Estimate, error) {
-				return entry.prof.EstimateCtx(ctx, req)
+				return prof.EstimateCtx(ctx, req)
 			},
 			res: make(chan cellResult, 1),
 		}
@@ -694,6 +708,112 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	resp.Cached = int(cachedCount)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdvise runs the causal advisor over one workload: the library's
+// AdviseCtx composes the configuration sweep and the per-region
+// experiments, and this server supplies the estimator — so its results
+// byte-agree with `prophet -advise` while every cell fans through the
+// LRU → singleflight → batcher tiers. Baseline cells share their cache
+// lines with /v1/predict; region-variant cells (synthesized trees) live
+// under their own advise-scoped keys and are always served locally —
+// variant trees exist only inside this request, so neither the surrogate
+// nor the cluster ring can own them.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var ar adviseRequest
+	if !s.decodeBody(w, r, &ar) {
+		return
+	}
+	entry, ok := s.lookup(w, ar.Workload)
+	if !ok {
+		return
+	}
+	cores := ar.Cores
+	if len(cores) == 0 {
+		cores = entry.threadCounts
+	}
+	cores, err := normalizeCores(cores)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	if len(cores) == 0 {
+		s.clientError(w, badRequestf("empty cores axis"))
+		return
+	}
+	// Empty method selects the advisor's documented default, Synthesizer
+	// — the same default prophet -advise applies when -method is unset.
+	method := prophet.Synthesizer
+	if ar.Method != "" {
+		method, err = prophet.ParseMethod(strings.TrimSpace(ar.Method))
+		if err != nil {
+			s.clientError(w, badRequestf("%v", err))
+			return
+		}
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	s.advises.Inc()
+	defer func(start time.Time) { s.adviseLat.ObserveDuration(time.Since(start)) }(time.Now())
+
+	ctx, cancel := s.requestCtx(r, ar.TimeoutMS)
+	defer cancel()
+	if hook := s.testHook.Load(); hook != nil {
+		(*hook)()
+	}
+	adv, aerr := entry.prof.AdviseCtx(ctx, &prophet.AdviseOptions{
+		Threads:   cores,
+		Method:    method,
+		Workers:   s.cfg.Workers,
+		Estimator: s.adviseEstimator(entry),
+	})
+	if isCancellation(aerr) {
+		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("advise canceled: %v", aerr))
+		return
+	}
+	// A fully-failed sweep is still a valid wire result: the advice
+	// carries its err field, exactly as estimates do.
+	writeJSON(w, http.StatusOK, adviseResponse{Workload: entry.name, Advice: adv})
+}
+
+// adviseEstimator adapts the server's cache hierarchy to the advisor's
+// cell interface. Baseline cells (scope "") go through the full estimate
+// stack — LRU, surrogate, cluster, singleflight, batcher — keyed exactly
+// like /v1/predict cells. Region-variant cells run against the
+// synthesized profile under an advise-scoped key: LRU and singleflight
+// still apply (a repeated /v1/advise answers from cache), but the
+// surrogate and the cluster are skipped — the variant tree is not the
+// registered workload, so a learned model or a peer replica would answer
+// for the wrong tree.
+func (s *Server) adviseEstimator(entry *workloadEntry) prophet.AdviseEstimator {
+	return func(ctx context.Context, scope string, prof *prophet.Profile, req prophet.Request) (prophet.Estimate, error) {
+		if req.Threads == 0 {
+			req.Threads = defaultThreads(req)
+		}
+		if scope == "" {
+			est, _, err := s.estimate(ctx, entry, req, false)
+			if err == nil && est.Err != nil {
+				err = est.Err
+			}
+			return est, err
+		}
+		key := "advise\x00" + scope + "\x00" + cellKey(entry, req)
+		if est, ok := s.cache.Get(key); ok {
+			est.Machine = req.Machine
+			return est, nil
+		}
+		est, _, err := s.cellOn(ctx, prof, key, req)
+		if err == nil && est.Err != nil {
+			err = est.Err
+		}
+		return est, err
+	}
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

@@ -52,6 +52,32 @@ type sweepRequest struct {
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
 }
 
+// adviseRequest is the body of POST /v1/advise: run the causal advisor
+// (prophet.AdviseCtx) over one workload — sweep configurations, then
+// rank candidate regions by marginal speedup at the largest requested
+// core count. The response's advice byte-agrees with `prophet -advise`
+// on the same workload, cores and method: the composition logic lives
+// entirely in the library, the server only supplies its cache hierarchy
+// as the estimator.
+type adviseRequest struct {
+	Workload string `json:"workload"`
+	// Cores is the thread-count axis (normalized like prophet.ParseCores;
+	// empty defaults to the profile's calibrated thread counts). The
+	// region experiments run at the largest count.
+	Cores []int `json:"cores,omitempty"`
+	// Method is the prediction engine (prophet.ParseMethod vocabulary).
+	// Empty selects the advisor's default, Synthesizer — the same default
+	// prophet -advise applies when -method is not given.
+	Method    string `json:"method,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// adviseResponse is the body of a /v1/advise reply.
+type adviseResponse struct {
+	Workload string         `json:"workload"`
+	Advice   prophet.Advice `json:"advice"`
+}
+
 // sweepResponse is the body of a /v1/sweep reply. Outcomes are indexed
 // in deterministic grid order: machines, then methods, then paradigms,
 // then schedules, then cores (machines outermost — a variant machine
